@@ -1,0 +1,41 @@
+// Ablation (DESIGN.md §3): Gemini's adaptive booking timeout (Algorithm 1)
+// versus fixed timeout values, on a churn-heavy workload where bookings
+// turn over constantly.  Regenerates the design argument of paper §4.1: a
+// too-small timeout loses bookings before they can be used; a too-large
+// one holds memory hostage; the controller lands between without tuning.
+#include "bench/bench_common.h"
+
+int main() {
+  workload::WorkloadSpec spec =
+      bench::MaybeFast(workload::SpecByName("Memcached"));
+  harness::BedOptions bed;
+
+  metrics::TextTable table(
+      "Ablation: booking timeout (fixed values vs Algorithm 1)");
+  table.SetColumns({"timeout", "throughput", "p99", "aligned", "miss rate"});
+
+  struct Variant {
+    const char* label;
+    base::Cycles initial;
+    base::Cycles period;  // huge period => controller effectively frozen
+  };
+  const std::vector<Variant> variants = {
+      {"fixed 2M cycles", 2'000'000, 1ull << 60},
+      {"fixed 40M cycles", 40'000'000, 1ull << 60},
+      {"fixed 800M cycles", 800'000'000, 1ull << 60},
+      {"adaptive (Algorithm 1)", 40'000'000, 20'000'000},
+  };
+  for (const Variant& v : variants) {
+    gemini::GeminiOptions options;
+    options.initial_booking_timeout = v.initial;
+    options.controller_period = v.period;
+    const auto r = harness::RunGeminiAblation(spec, bed, options);
+    table.AddRow({v.label, metrics::TextTable::Fmt(r.throughput, 3),
+                  metrics::TextTable::Fmt(r.p99_latency, 0),
+                  metrics::TextTable::Pct(r.alignment.well_aligned_rate),
+                  metrics::TextTable::Fmt(r.tlb_miss_rate, 3)});
+    std::fprintf(stderr, "%s done\n", v.label);
+  }
+  table.Print();
+  return 0;
+}

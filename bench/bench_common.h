@@ -1,0 +1,127 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench binary prints one table shaped like the paper's figure it
+// regenerates: workloads as rows, the eight systems as columns, values
+// normalized the way the paper normalizes them.  Set GEMINI_FAST=1 to run
+// abbreviated sweeps while iterating.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "metrics/perf_model.h"
+#include "metrics/table.h"
+
+namespace bench {
+
+using RunFn = std::function<workload::RunResult(
+    harness::SystemKind, const workload::WorkloadSpec&,
+    const harness::BedOptions&)>;
+
+struct SweepResult {
+  // results[workload][system] -> run result.
+  std::vector<std::string> workloads;
+  std::map<std::string, std::map<harness::SystemKind, workload::RunResult>>
+      results;
+};
+
+inline workload::WorkloadSpec MaybeFast(const workload::WorkloadSpec& spec) {
+  return harness::FastMode() ? harness::ScaleSpec(spec, 0.3) : spec;
+}
+
+// Runs `fn` for every (workload, system) pair.
+inline SweepResult RunSweep(const std::vector<workload::WorkloadSpec>& specs,
+                            const std::vector<harness::SystemKind>& systems,
+                            const harness::BedOptions& bed, const RunFn& fn) {
+  SweepResult sweep;
+  for (const auto& spec : specs) {
+    const workload::WorkloadSpec scaled = MaybeFast(spec);
+    sweep.workloads.push_back(spec.name);
+    for (harness::SystemKind kind : systems) {
+      sweep.results[spec.name][kind] = fn(kind, scaled, bed);
+      std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, " %s done\n", spec.name.c_str());
+  }
+  return sweep;
+}
+
+// Prints one metric of a sweep as a table, normalized per-row against the
+// metric's value under `baseline` (pass the same system to skip
+// normalization is not meaningful; use extract returning raw values and
+// baseline == first column convention instead).
+inline void PrintNormalizedTable(
+    const std::string& title, const SweepResult& sweep,
+    const std::vector<harness::SystemKind>& systems,
+    harness::SystemKind baseline,
+    const std::function<double(const workload::RunResult&)>& extract,
+    bool higher_is_better) {
+  metrics::TextTable table(title);
+  std::vector<std::string> columns{"workload"};
+  for (harness::SystemKind kind : systems) {
+    columns.emplace_back(harness::SystemName(kind));
+  }
+  table.SetColumns(columns);
+
+  std::map<harness::SystemKind, std::vector<double>> normalized;
+  for (const auto& name : sweep.workloads) {
+    const auto& row = sweep.results.at(name);
+    const double base_value = extract(row.at(baseline));
+    std::vector<std::string> cells{name};
+    for (harness::SystemKind kind : systems) {
+      const double v = metrics::Normalize(extract(row.at(kind)), base_value);
+      normalized[kind].push_back(v);
+      cells.push_back(metrics::TextTable::Fmt(v));
+    }
+    table.AddRow(cells);
+  }
+  std::vector<std::string> mean_row{"geomean"};
+  for (harness::SystemKind kind : systems) {
+    mean_row.push_back(
+        metrics::TextTable::Fmt(metrics::GeometricMean(normalized[kind])));
+  }
+  table.AddRow(mean_row);
+  table.Print();
+  (void)higher_is_better;
+}
+
+// Prints the well-aligned-rate table (Tables 1/3/4 format).
+inline void PrintAlignmentTable(
+    const std::string& title, const SweepResult& sweep,
+    const std::vector<harness::SystemKind>& systems) {
+  metrics::TextTable table(title);
+  std::vector<std::string> columns{"workload"};
+  for (harness::SystemKind kind : systems) {
+    columns.emplace_back(harness::SystemName(kind));
+  }
+  table.SetColumns(columns);
+  for (const auto& name : sweep.workloads) {
+    std::vector<std::string> cells{name};
+    for (harness::SystemKind kind : systems) {
+      cells.push_back(metrics::TextTable::Pct(
+          sweep.results.at(name).at(kind).alignment.well_aligned_rate));
+    }
+    table.AddRow(cells);
+  }
+  table.Print();
+}
+
+// Latency-reporting workloads only (the TailBench-style subset).
+inline std::vector<workload::WorkloadSpec> LatencyWorkloads() {
+  std::vector<workload::WorkloadSpec> out;
+  for (const auto& spec : workload::CleanSlateCatalog()) {
+    if (spec.kind == workload::Kind::kLatency) {
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_COMMON_H_

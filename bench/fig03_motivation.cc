@@ -1,0 +1,51 @@
+// Figure 3 reproduction: motivation experiment — throughput (Canneal,
+// Streamcluster) and mean/p99 latency (Img-dnn, Specjbb) of the four
+// motivation workloads across all eight systems, clean-slate fragmented
+// VM, normalized to Host-B-VM-B.
+//
+// Expected shape (paper §2.3): Misalignment only marginally beats base
+// pages; THP/CA-paging/Ranger gain little or lose to overhead;
+// Ingens/HawkEye gain modestly; Gemini gains the most.
+#include "bench/bench_common.h"
+
+int main() {
+  const auto systems = harness::AllSystems();
+  harness::BedOptions bed;
+  const auto sweep = bench::RunSweep(workload::MotivationCatalog(), systems,
+                                     bed, harness::RunCleanSlate);
+
+  bench::PrintNormalizedTable(
+      "Figure 3a: motivation throughput (normalized to Host-B-VM-B)", sweep,
+      systems, harness::SystemKind::kHostBVmB,
+      [](const workload::RunResult& r) { return r.throughput; }, true);
+
+  // Latency panels for the latency-reporting pair.
+  metrics::TextTable lat("Figure 3b: motivation latencies (normalized)");
+  std::vector<std::string> columns{"workload / metric"};
+  for (harness::SystemKind kind : systems) {
+    columns.emplace_back(harness::SystemName(kind));
+  }
+  lat.SetColumns(columns);
+  for (const auto& name : sweep.workloads) {
+    const auto& row = sweep.results.at(name);
+    if (row.at(harness::SystemKind::kHostBVmB).requests == 0) {
+      continue;  // throughput-only workload
+    }
+    const double base_mean =
+        row.at(harness::SystemKind::kHostBVmB).mean_latency;
+    const double base_tail =
+        row.at(harness::SystemKind::kHostBVmB).p99_latency;
+    std::vector<std::string> mean_cells{name + " mean"};
+    std::vector<std::string> tail_cells{name + " p99"};
+    for (harness::SystemKind kind : systems) {
+      mean_cells.push_back(metrics::TextTable::Fmt(
+          metrics::Normalize(row.at(kind).mean_latency, base_mean)));
+      tail_cells.push_back(metrics::TextTable::Fmt(
+          metrics::Normalize(row.at(kind).p99_latency, base_tail)));
+    }
+    lat.AddRow(mean_cells);
+    lat.AddRow(tail_cells);
+  }
+  lat.Print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 16 reproduction: Gemini performance breakdown under memory
+// fragmentation — how much of Gemini's throughput each mechanism group
+// contributes: EMA + huge booking ("EMA/HB") versus the huge bucket.
+//
+// Methodology (mirrors the paper's ablation): run the reused-VM scenario
+// under (a) full Gemini, (b) EMA/HB only (bucket off), and (c) bucket only
+// (EMA/HB off).  The contribution of each part is its ablated gain over
+// Host-B-VM-B as a share of the summed gains.  Expected shape: EMA/HB
+// contributes the majority (~2/3 in the paper), with the bucket mattering
+// most for allocation-churning workloads (Redis, RocksDB, Memcached).
+#include "bench/bench_common.h"
+
+int main() {
+  const std::vector<std::string> names = {"Canneal", "Redis",  "RocksDB",
+                                          "Memcached", "CG.D", "SVM"};
+  harness::BedOptions bed;
+
+  gemini::GeminiOptions full;
+  gemini::GeminiOptions ema_only;
+  ema_only.enable_bucket = false;
+  gemini::GeminiOptions bucket_only;
+  bucket_only.enable_ema = false;
+
+  metrics::TextTable table(
+      "Figure 16: Gemini performance breakdown (share of throughput gain "
+      "over Host-B-VM-B)");
+  table.SetColumns({"workload", "full thr", "EMA/HB share", "bucket share"});
+  std::vector<double> ema_shares;
+  std::vector<double> bucket_shares;
+  for (const auto& name : names) {
+    const workload::WorkloadSpec spec =
+        bench::MaybeFast(workload::SpecByName(name));
+    const auto base =
+        harness::RunReusedVm(harness::SystemKind::kHostBVmB, spec, bed);
+    const auto with_full = harness::RunGeminiAblation(spec, bed, full);
+    const auto with_ema = harness::RunGeminiAblation(spec, bed, ema_only);
+    const auto with_bucket =
+        harness::RunGeminiAblation(spec, bed, bucket_only);
+    const double gain_ema =
+        std::max(0.0, with_ema.throughput - base.throughput);
+    const double gain_bucket =
+        std::max(0.0, with_bucket.throughput - base.throughput);
+    const double total = gain_ema + gain_bucket;
+    const double ema_share = total > 0 ? gain_ema / total : 0.0;
+    const double bucket_share = total > 0 ? gain_bucket / total : 0.0;
+    ema_shares.push_back(ema_share);
+    bucket_shares.push_back(bucket_share);
+    table.AddRow({name,
+                  metrics::TextTable::Fmt(
+                      metrics::Normalize(with_full.throughput,
+                                         base.throughput)),
+                  metrics::TextTable::Pct(ema_share),
+                  metrics::TextTable::Pct(bucket_share)});
+    std::fprintf(stderr, "%s done\n", name.c_str());
+  }
+  table.AddRow({"average", "",
+                metrics::TextTable::Pct(metrics::ArithmeticMean(ema_shares)),
+                metrics::TextTable::Pct(
+                    metrics::ArithmeticMean(bucket_shares))});
+  table.Print();
+  return 0;
+}

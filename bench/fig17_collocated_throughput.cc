@@ -1,0 +1,59 @@
+// Figure 17 reproduction: throughput when two VMs are collocated on the
+// same host — TLB-sensitive workloads paired with TLB-sensitive and
+// non-TLB-sensitive companions — across all systems, normalized to
+// Host-B-VM-B.
+//
+// Expected shape: Gemini best or tied on sensitive pairs; on insensitive
+// workloads (Shore, SP.D) all systems are within a few percent of base —
+// Gemini introduces negligible overhead (paper: ~2-3 %).
+#include "bench/bench_common.h"
+
+int main() {
+  struct Pair {
+    const char* vm0;
+    const char* vm1;
+  };
+  const std::vector<Pair> pairs = {
+      {"Canneal", "Redis"},   // sensitive + sensitive
+      {"Masstree", "SP.D"},   // sensitive + insensitive
+      {"Silo", "Shore"},      // sensitive + insensitive
+  };
+  const auto systems = harness::AllSystems();
+  harness::BedOptions bed;
+  bed.host_frames = 640 * 1024;  // room for two VMs
+
+  metrics::TextTable table(
+      "Figure 17: collocated-VM throughput (normalized to Host-B-VM-B)");
+  std::vector<std::string> columns{"VM / workload"};
+  for (harness::SystemKind kind : systems) {
+    columns.emplace_back(harness::SystemName(kind));
+  }
+  table.SetColumns(columns);
+
+  for (const auto& pair : pairs) {
+    const auto spec0 = bench::MaybeFast(workload::SpecByName(pair.vm0));
+    const auto spec1 = bench::MaybeFast(workload::SpecByName(pair.vm1));
+    std::map<harness::SystemKind, harness::CollocatedResult> results;
+    for (harness::SystemKind kind : systems) {
+      results[kind] = harness::RunCollocated(kind, spec0, spec1, bed);
+      std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, " %s+%s done\n", pair.vm0, pair.vm1);
+    const double base0 =
+        results[harness::SystemKind::kHostBVmB].vm0.throughput;
+    const double base1 =
+        results[harness::SystemKind::kHostBVmB].vm1.throughput;
+    std::vector<std::string> row0{std::string("vm0 ") + pair.vm0};
+    std::vector<std::string> row1{std::string("vm1 ") + pair.vm1};
+    for (harness::SystemKind kind : systems) {
+      row0.push_back(metrics::TextTable::Fmt(
+          metrics::Normalize(results[kind].vm0.throughput, base0)));
+      row1.push_back(metrics::TextTable::Fmt(
+          metrics::Normalize(results[kind].vm1.throughput, base1)));
+    }
+    table.AddRow(row0);
+    table.AddRow(row1);
+  }
+  table.Print();
+  return 0;
+}

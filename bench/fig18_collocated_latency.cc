@@ -1,0 +1,53 @@
+// Figure 18 reproduction: mean latencies of collocated VMs (latency-
+// reporting workloads), normalized to Host-B-VM-B; lower is better.
+#include "bench/bench_common.h"
+
+int main() {
+  struct Pair {
+    const char* vm0;
+    const char* vm1;
+  };
+  const std::vector<Pair> pairs = {
+      {"Redis", "Memcached"},  // sensitive + sensitive
+      {"Img-dnn", "Shore"},    // sensitive + insensitive
+  };
+  const auto systems = harness::AllSystems();
+  harness::BedOptions bed;
+  bed.host_frames = 640 * 1024;
+
+  metrics::TextTable table(
+      "Figure 18: collocated-VM mean latency (normalized to Host-B-VM-B; "
+      "lower is better)");
+  std::vector<std::string> columns{"VM / workload"};
+  for (harness::SystemKind kind : systems) {
+    columns.emplace_back(harness::SystemName(kind));
+  }
+  table.SetColumns(columns);
+
+  for (const auto& pair : pairs) {
+    const auto spec0 = bench::MaybeFast(workload::SpecByName(pair.vm0));
+    const auto spec1 = bench::MaybeFast(workload::SpecByName(pair.vm1));
+    std::map<harness::SystemKind, harness::CollocatedResult> results;
+    for (harness::SystemKind kind : systems) {
+      results[kind] = harness::RunCollocated(kind, spec0, spec1, bed);
+      std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, " %s+%s done\n", pair.vm0, pair.vm1);
+    const double base0 =
+        results[harness::SystemKind::kHostBVmB].vm0.mean_latency;
+    const double base1 =
+        results[harness::SystemKind::kHostBVmB].vm1.mean_latency;
+    std::vector<std::string> row0{std::string("vm0 ") + pair.vm0};
+    std::vector<std::string> row1{std::string("vm1 ") + pair.vm1};
+    for (harness::SystemKind kind : systems) {
+      row0.push_back(metrics::TextTable::Fmt(
+          metrics::Normalize(results[kind].vm0.mean_latency, base0)));
+      row1.push_back(metrics::TextTable::Fmt(
+          metrics::Normalize(results[kind].vm1.mean_latency, base1)));
+    }
+    table.AddRow(row0);
+    table.AddRow(row1);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Key/value-store scenario: compares all eight systems on a Memcached-like
+// workload whose slab churn keeps destroying and recreating memory regions
+// — the allocation pattern where huge-page alignment is hardest to keep.
+//
+//   $ ./build/examples/kv_store [ops]
+//
+// Demonstrates the lower-level API too: instead of the one-call harness,
+// this example builds the machine by hand, installs policies, fragments
+// memory, and drives the workload step by step while printing a live view
+// of huge-page alignment.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/systems.h"
+#include "metrics/alignment_audit.h"
+#include "workload/catalog.h"
+#include "workload/driver.h"
+
+namespace {
+
+void RunOne(harness::SystemKind kind, uint64_t ops) {
+  // Hand-built testbed (what harness::MakeTestBed automates).
+  osim::MachineConfig config;
+  config.host_frames = 400 * 1024;
+  config.seed = 7;
+  osim::Machine machine(config);
+  osim::VirtualMachine& vm =
+      harness::AddSystemVm(machine, kind, 128 * 1024);
+  machine.FragmentHostMemory(0.94);
+  machine.FragmentGuestMemory(vm.id(), 0.8);
+
+  workload::WorkloadSpec spec = workload::SpecByName("Memcached");
+  spec.ops = ops;
+
+  workload::WorkloadDriver driver(&machine, vm.id());
+  workload::DriverOptions options;
+  options.warmup_fraction = 0.2;
+  driver.Begin(spec, options);
+
+  std::printf("%-13s alignment over time: ",
+              std::string(harness::SystemName(kind)).c_str());
+  const uint64_t quantum = ops / 8;
+  while (!driver.Done()) {
+    driver.Step(quantum);
+    const auto report = metrics::AuditAlignment(vm.guest().table(),
+                                                vm.host_slice().table());
+    std::printf("%3.0f%% ", 100.0 * report.well_aligned_rate);
+  }
+  const workload::RunResult r = driver.Finish();
+  std::printf("| thr %.3f  p99 %.0f  missrate %.2f\n", r.throughput,
+              r.p99_latency, r.tlb_miss_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t ops = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120000;
+  std::printf("Memcached-like churning K/V workload, %llu ops per system.\n"
+              "Columns show the well-aligned huge page rate sampled 8x "
+              "through the run.\n\n",
+              static_cast<unsigned long long>(ops));
+  for (harness::SystemKind kind : harness::AllSystems()) {
+    RunOne(kind, ops);
+  }
+  std::printf(
+      "\nChurn keeps breaking alignment; only Gemini re-forms it quickly\n"
+      "(EMA placement + huge bucket reuse), which shows up as both a high\n"
+      "steady alignment column and the best tail latency.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reused-VM scenario (paper §6.3): a VM first runs a large-working-set SVM
+// job to completion; its memory returns to the guest, but the host keeps
+// the VM's (now huge-backed) physical memory.  A second workload then
+// starts in the same VM.
+//
+//   $ ./build/examples/reused_vm
+//
+// Shows why Gemini's huge bucket matters: without it, the freed
+// well-aligned regions get splintered by small allocations and the second
+// workload loses the alignment the first one built.
+#include <cstdio>
+#include <string>
+
+#include "gemini/gemini_policy.h"
+#include "harness/experiment.h"
+
+namespace {
+
+void Report(const char* label, const workload::RunResult& r) {
+  std::printf("  %-22s thr %.3f  missrate %.2f  aligned %.0f%% "
+              "(gH=%llu hH=%llu)\n",
+              label, r.throughput, r.tlb_miss_rate,
+              100.0 * r.alignment.well_aligned_rate,
+              static_cast<unsigned long long>(r.alignment.guest_huge),
+              static_cast<unsigned long long>(r.alignment.host_huge));
+}
+
+}  // namespace
+
+int main() {
+  workload::WorkloadSpec spec = workload::SpecByName("Xapian");
+  spec.ops = 150000;
+  harness::BedOptions bed;
+
+  std::printf("Reused-VM scenario: SVM prefill, teardown, then '%s'.\n\n",
+              spec.name.c_str());
+
+  // Clean-slate versus reused, under THP and Gemini.
+  for (harness::SystemKind kind :
+       {harness::SystemKind::kThp, harness::SystemKind::kGemini}) {
+    std::printf("%s:\n", std::string(harness::SystemName(kind)).c_str());
+    Report("clean-slate VM", harness::RunCleanSlate(kind, spec, bed));
+    Report("reused VM", harness::RunReusedVm(kind, spec, bed));
+  }
+
+  // Gemini with the bucket disabled: the reuse advantage shrinks.
+  gemini::GeminiOptions no_bucket;
+  no_bucket.enable_bucket = false;
+  std::printf("Gemini (bucket disabled):\n");
+  Report("reused VM", harness::RunGeminiAblation(spec, bed, no_bucket));
+
+  std::printf(
+      "\nEvery system benefits from VM reuse (the host backing persists),\n"
+      "but Gemini benefits most: the bucket hands freed well-aligned\n"
+      "regions back out whole, so the second workload re-aligns almost\n"
+      "immediately (paper Table 4: 75-99%% vs 31-68%% for the others).\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Lightweight assertion macros used across the simulator.  Unlike the
+// standard assert(), these are active in all build types: the simulator's
+// correctness claims (buddy invariants, page-table consistency) are part of
+// the reproduction and must hold in release benchmarking runs too.
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SIM_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SIM_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SIM_CHECK_MSG(cond, fmt, ...)                                        \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SIM_CHECK failed at %s:%d: %s: " fmt "\n",       \
+                   __FILE__, __LINE__, #cond, ##__VA_ARGS__);                \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // SRC_BASE_CHECK_H_

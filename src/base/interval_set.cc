@@ -1,0 +1,94 @@
+#include "base/interval_set.h"
+
+namespace base {
+
+void IntervalSet::Insert(uint64_t lo, uint64_t hi) {
+  if (lo >= hi) {
+    return;
+  }
+  // Find the first interval that could merge with [lo, hi): any interval
+  // whose end >= lo.  Intervals are disjoint so we scan forward from there.
+  auto it = spans_.upper_bound(lo);
+  if (it != spans_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {
+      it = prev;
+    }
+  }
+  while (it != spans_.end() && it->first <= hi) {
+    lo = std::min(lo, it->first);
+    hi = std::max(hi, it->second);
+    it = spans_.erase(it);
+  }
+  spans_.emplace(lo, hi);
+}
+
+void IntervalSet::Remove(uint64_t lo, uint64_t hi) {
+  if (lo >= hi) {
+    return;
+  }
+  auto it = spans_.upper_bound(lo);
+  if (it != spans_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > lo) {
+      it = prev;
+    }
+  }
+  while (it != spans_.end() && it->first < hi) {
+    const uint64_t s = it->first;
+    const uint64_t e = it->second;
+    it = spans_.erase(it);
+    if (s < lo) {
+      spans_.emplace(s, lo);
+    }
+    if (e > hi) {
+      spans_.emplace(hi, e);
+      break;
+    }
+  }
+}
+
+bool IntervalSet::ContainsRange(uint64_t lo, uint64_t hi) const {
+  if (lo >= hi) {
+    return true;
+  }
+  auto it = spans_.upper_bound(lo);
+  if (it == spans_.begin()) {
+    return false;
+  }
+  --it;
+  return it->first <= lo && it->second >= hi;
+}
+
+bool IntervalSet::Intersects(uint64_t lo, uint64_t hi) const {
+  if (lo >= hi) {
+    return false;
+  }
+  auto it = spans_.upper_bound(lo);
+  if (it != spans_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > lo) {
+      return true;
+    }
+  }
+  return it != spans_.end() && it->first < hi;
+}
+
+uint64_t IntervalSet::TotalLength() const {
+  uint64_t total = 0;
+  for (const auto& [lo, hi] : spans_) {
+    total += hi - lo;
+  }
+  return total;
+}
+
+std::vector<IntervalSet::Interval> IntervalSet::ToVector() const {
+  std::vector<Interval> out;
+  out.reserve(spans_.size());
+  for (const auto& [lo, hi] : spans_) {
+    out.push_back(Interval{lo, hi});
+  }
+  return out;
+}
+
+}  // namespace base

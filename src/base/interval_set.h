@@ -1,0 +1,77 @@
+// An ordered set of disjoint half-open intervals [lo, hi) over uint64_t.
+//
+// Used for tracking reserved (booked) physical regions, VMA coverage, and
+// scanner work lists.  Adjacent and overlapping insertions coalesce;
+// removals split.  Operations are O(log n + k) where k is the number of
+// intervals touched.
+#ifndef SRC_BASE_INTERVAL_SET_H_
+#define SRC_BASE_INTERVAL_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace base {
+
+class IntervalSet {
+ public:
+  struct Interval {
+    uint64_t lo;
+    uint64_t hi;  // exclusive
+    bool operator==(const Interval& other) const = default;
+  };
+
+  // Inserts [lo, hi), merging with neighbours.  No-op if lo >= hi.
+  void Insert(uint64_t lo, uint64_t hi);
+
+  // Removes [lo, hi), splitting intervals that straddle the boundary.
+  void Remove(uint64_t lo, uint64_t hi);
+
+  // True if every point of [lo, hi) is contained.
+  bool ContainsRange(uint64_t lo, uint64_t hi) const;
+
+  // True if any point of [lo, hi) is contained.
+  bool Intersects(uint64_t lo, uint64_t hi) const;
+
+  bool Contains(uint64_t point) const { return Intersects(point, point + 1); }
+
+  // Total length covered.
+  uint64_t TotalLength() const;
+
+  size_t IntervalCount() const { return spans_.size(); }
+  bool empty() const { return spans_.empty(); }
+  void Clear() { spans_.clear(); }
+
+  std::vector<Interval> ToVector() const;
+
+  // Visits each interval intersected with [lo, hi).
+  template <typename Fn>
+  void ForEachIn(uint64_t lo, uint64_t hi, Fn&& fn) const {
+    if (lo >= hi) {
+      return;
+    }
+    auto it = spans_.upper_bound(lo);
+    if (it != spans_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > lo) {
+        it = prev;
+      }
+    }
+    for (; it != spans_.end() && it->first < hi; ++it) {
+      const uint64_t s = it->first > lo ? it->first : lo;
+      const uint64_t e = it->second < hi ? it->second : hi;
+      if (s < e) {
+        fn(s, e);
+      }
+    }
+  }
+
+ private:
+  // Keyed by interval start; value is the exclusive end.
+  std::map<uint64_t, uint64_t> spans_;
+};
+
+}  // namespace base
+
+#endif  // SRC_BASE_INTERVAL_SET_H_

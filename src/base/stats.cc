@@ -1,0 +1,71 @@
+#include "base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace base {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+LatencyRecorder::LatencyRecorder(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  SIM_CHECK(capacity_ > 0);
+  samples_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void LatencyRecorder::Record(double latency) {
+  stat_.Add(latency);
+  sorted_ = false;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(latency);
+    return;
+  }
+  // Reservoir sampling: replace a random slot with probability
+  // capacity / count, keeping a uniform sample of the stream.
+  const uint64_t index = rng_.NextBelow(stat_.count());
+  if (index < capacity_) {
+    samples_[static_cast<size_t>(index)] = latency;
+  }
+}
+
+double LatencyRecorder::Percentile(double q) const {
+  SIM_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace base

@@ -1,0 +1,64 @@
+// Streaming statistics helpers used by the performance model and the
+// experiment harness: a Welford mean/variance accumulator and a
+// reservoir-downsampled latency recorder that reports mean and percentile
+// latencies (the paper reports mean and 99th-percentile tail latency).
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace base {
+
+// Welford-style online accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Records per-request latencies.  Keeps at most `capacity` samples using
+// reservoir sampling so that percentile queries stay cheap regardless of
+// request count, while the mean is exact (tracked separately).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(size_t capacity = 65536, uint64_t seed = 42);
+
+  void Record(double latency);
+
+  uint64_t count() const { return stat_.count(); }
+  double Mean() const { return stat_.mean(); }
+  double Max() const { return stat_.max(); }
+  // Quantile in [0, 1], e.g. 0.99 for the p99 tail.  Sorts the reservoir on
+  // demand (amortized by caching until the next Record()).
+  double Percentile(double q) const;
+
+ private:
+  size_t capacity_;
+  RunningStat stat_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  Rng rng_;
+};
+
+}  // namespace base
+
+#endif  // SRC_BASE_STATS_H_

@@ -1,0 +1,65 @@
+// Cross-layer information channel (paper §4).
+//
+// The host-side misaligned huge page scanner (MHPS) publishes, per VM, the
+// guest-physical regions where one layer has formed a huge page that the
+// other layer does not match.  The guest- and host-layer Gemini policies
+// consume these lists to drive booking, placement, and prioritized
+// promotion.  In the Linux/KVM prototype this information travels over a
+// paravirtual channel as (VM id, GPA, layer) labels; in the simulator the
+// channel is a shared structure owned by the GeminiRuntime, carrying the
+// identical information.
+#ifndef SRC_GEMINI_CHANNEL_H_
+#define SRC_GEMINI_CHANNEL_H_
+
+#include <cstdint>
+#include <map>
+
+#include "base/types.h"
+#include "mmu/page_table.h"
+
+namespace gemini {
+
+// State of one misaligned huge page, keyed by its guest-physical region.
+struct MisalignedRegion {
+  // Type-1: the other layer has nothing mapped/allocated in the region yet,
+  // so it can be fixed by placement alone.  Type-2: base pages exist and
+  // promotion (possibly with migration) is required.
+  bool type2 = false;
+  base::Cycles discovered = 0;
+};
+
+struct GeminiChannel {
+  // Regions where the HOST has a huge EPT leaf but the guest has not formed
+  // a matching huge page.  Consumed by the guest-layer policy.
+  std::map<uint64_t, MisalignedRegion> host_huge_misaligned;
+  // Regions that are the target of a huge GUEST page but are not backed by
+  // a huge EPT leaf.  Consumed by the host-layer policy.
+  std::map<uint64_t, MisalignedRegion> guest_huge_misaligned;
+  // Regions huge in both layers (well-aligned), for the bucket and audits.
+  uint64_t well_aligned_count = 0;
+
+  // Read-only views of both tables, giving each side the alignment facts
+  // the scanner labels would carry.
+  const mmu::PageTable* guest_table = nullptr;
+  const mmu::PageTable* ept = nullptr;
+
+  // True if the guest-physical region is currently backed by a huge EPT
+  // leaf (the fact the guest-layer policy cares about for the bucket and
+  // placement preference).
+  bool HostHuge(uint64_t gpa_region) const {
+    return ept != nullptr && ept->IsHugeMapped(gpa_region);
+  }
+  // True if some guest process maps this guest-physical region with a huge
+  // page (the fact the host-layer policy cares about).  Maintained by the
+  // scanner (reverse lookups are scan-time work, as in the prototype).
+  bool GuestHugeTarget(uint64_t gpa_region) const {
+    return guest_huge_targets.count(gpa_region) != 0;
+  }
+
+  // All regions that are targets of guest huge pages, refreshed per scan.
+  std::map<uint64_t, uint64_t> guest_huge_targets;  // gpa region -> gva region
+};
+
+}  // namespace gemini
+
+#endif  // SRC_GEMINI_CHANNEL_H_

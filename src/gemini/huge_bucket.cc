@@ -1,0 +1,64 @@
+#include "gemini/huge_bucket.h"
+
+#include "base/check.h"
+
+namespace gemini {
+
+using base::kPagesPerHuge;
+
+HugeBucket::~HugeBucket() { ReleaseAll(); }
+
+void HugeBucket::Deposit(uint64_t frame, base::Cycles now) {
+  SIM_CHECK(frame % kPagesPerHuge == 0);
+  frames_->SetUse(frame, kPagesPerHuge, owner_, vmem::FrameUse::kBucketed);
+  const auto [it, inserted] = held_.emplace(frame, now + retention_);
+  (void)it;
+  SIM_CHECK(inserted);
+  ++deposits_;
+}
+
+uint64_t HugeBucket::TakeAny() {
+  if (held_.empty()) {
+    return vmem::kInvalidFrame;
+  }
+  const auto it = held_.begin();
+  const uint64_t frame = it->first;
+  Release(frame);
+  held_.erase(it);
+  ++reuses_;
+  return frame;
+}
+
+uint64_t HugeBucket::ExpireRetention(base::Cycles now) {
+  uint64_t released = 0;
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (it->second <= now) {
+      Release(it->first);
+      it = held_.erase(it);
+      ++released;
+    } else {
+      ++it;
+    }
+  }
+  return released;
+}
+
+uint64_t HugeBucket::ReleaseSome(uint64_t count) {
+  uint64_t released = 0;
+  while (released < count && !held_.empty()) {
+    const auto it = held_.begin();
+    Release(it->first);
+    held_.erase(it);
+    ++released;
+  }
+  return released;
+}
+
+void HugeBucket::ReleaseAll() { ReleaseSome(held_.size()); }
+
+void HugeBucket::Release(uint64_t frame) {
+  frames_->ClearUse(frame, kPagesPerHuge);
+  buddy_->Free(frame, kPagesPerHuge);
+}
+
+}  // namespace gemini

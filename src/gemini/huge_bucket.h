@@ -1,0 +1,68 @@
+// Huge bucket (paper §5).
+//
+// When a workload frees memory that forms a well-aligned huge page, the
+// guest-physical region is still backed by a huge EPT leaf — the host keeps
+// the VM's memory (§6.3: "memory allocated to the VM will not return to the
+// host OS immediately").  If the region went back to the general buddy
+// pool, small later allocations would splinter it and destroy the
+// alignment.  The huge bucket instead retains such regions whole for a
+// retention period and hands them out, whole, to later huge-page-sized
+// demands — which is why reused VMs regain high well-aligned rates almost
+// immediately (Table 4).  Under memory pressure or heavy fragmentation the
+// bucket returns regions to the OS.
+#ifndef SRC_GEMINI_HUGE_BUCKET_H_
+#define SRC_GEMINI_HUGE_BUCKET_H_
+
+#include <cstdint>
+#include <map>
+
+#include "base/types.h"
+#include "vmem/buddy_allocator.h"
+#include "vmem/frame_space.h"
+
+namespace gemini {
+
+class HugeBucket {
+ public:
+  HugeBucket(vmem::BuddyAllocator* buddy, vmem::FrameSpace* frames,
+             int32_t owner, base::Cycles retention)
+      : buddy_(buddy), frames_(frames), owner_(owner), retention_(retention) {}
+  ~HugeBucket();
+
+  // Takes ownership of a freed, physically whole region (512 frames at
+  // huge-aligned `frame`, currently *allocated*, i.e. not yet returned to
+  // the buddy).
+  void Deposit(uint64_t frame, base::Cycles now);
+
+  // Pops one retained region for reuse, releasing its frames back to the
+  // buddy so the caller's targeted allocation succeeds.  Returns the first
+  // frame, or kInvalidFrame if the bucket is empty.
+  uint64_t TakeAny();
+
+  // Returns expired regions to the buddy.  Returns how many were released.
+  uint64_t ExpireRetention(base::Cycles now);
+
+  // Returns up to `count` regions to the buddy (memory pressure / severe
+  // fragmentation).  Returns how many were released.
+  uint64_t ReleaseSome(uint64_t count);
+  void ReleaseAll();
+
+  size_t held_count() const { return held_.size(); }
+  uint64_t deposits() const { return deposits_; }
+  uint64_t reuses() const { return reuses_; }
+
+ private:
+  void Release(uint64_t frame);
+
+  vmem::BuddyAllocator* buddy_;
+  vmem::FrameSpace* frames_;
+  int32_t owner_;
+  base::Cycles retention_;
+  std::map<uint64_t, base::Cycles> held_;  // first frame -> deadline
+  uint64_t deposits_ = 0;
+  uint64_t reuses_ = 0;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_GEMINI_HUGE_BUCKET_H_

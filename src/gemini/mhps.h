@@ -1,0 +1,52 @@
+// Misaligned Huge Page Scanner (MHPS), paper §4.
+//
+// Runs at the host layer.  Periodically scans the guest process page tables
+// (for huge pages formed in the guest) and the VM page tables (for huge
+// pages formed in the host), labels each huge page with its layer and
+// guest-physical region, and derives the misalignment lists by comparison:
+//
+//   host-huge misaligned: EPT huge leaf whose region is not the target of a
+//     guest huge page.  Type-1 if the guest has not allocated any frame of
+//     the region; type-2 otherwise.
+//   guest-huge misaligned: guest huge page whose target region is not a
+//     huge EPT leaf.  Type-1 if the EPT has no base mappings in the region;
+//     type-2 otherwise.
+//
+// Results go into the per-VM GeminiChannel.
+#ifndef SRC_GEMINI_MHPS_H_
+#define SRC_GEMINI_MHPS_H_
+
+#include "gemini/channel.h"
+#include "mmu/page_table.h"
+#include "vmem/buddy_allocator.h"
+
+namespace gemini {
+
+struct MhpsStats {
+  uint64_t scans = 0;
+  uint64_t guest_huge_seen = 0;
+  uint64_t host_huge_seen = 0;
+  uint64_t well_aligned = 0;
+  uint64_t host_huge_misaligned = 0;
+  uint64_t guest_huge_misaligned = 0;
+};
+
+class Mhps {
+ public:
+  // Scans one VM: `guest_table` (GVA -> GFN), `ept` (GFN -> PFN), and the
+  // guest's buddy (to classify type-1 vs type-2 for host-huge regions).
+  // Rewrites the channel's misalignment lists, preserving `discovered`
+  // stamps of regions that remain misaligned.
+  void ScanVm(const mmu::PageTable& guest_table, const mmu::PageTable& ept,
+              const vmem::BuddyAllocator& guest_buddy, base::Cycles now,
+              GeminiChannel& channel);
+
+  const MhpsStats& stats() const { return stats_; }
+
+ private:
+  MhpsStats stats_;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_GEMINI_MHPS_H_

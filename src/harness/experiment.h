@@ -1,0 +1,85 @@
+// Experiment harness shared by every bench binary: builds a testbed
+// (machine + VM under a system), applies the paper's fragmentation
+// methodology, and runs the scenarios of §6 (clean-slate VM, reused VM,
+// collocated VMs).
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/systems.h"
+#include "workload/catalog.h"
+#include "workload/driver.h"
+
+namespace harness {
+
+struct BedOptions {
+  uint64_t host_frames = 400 * 1024;  // ~1.6 GiB simulated host memory
+  uint64_t vm_gfn_count = 128 * 1024; // ~512 MiB per VM
+  bool fragmented = true;             // fragment both layers (paper default)
+  double fragmentation_target = 0.8;  // guest FMFI target at huge order
+  // The host carries every tenant's history, so its contiguity is scarcer:
+  // which regions a system spends its few remaining blocks on decides its
+  // well-aligned rate.
+  double host_fragmentation_target = 0.85;
+  // Fraction of guest-physical space touched (and freed) by "VM boot":
+  // kernel/page-cache activity that leaves stale base-grained EPT mappings
+  // behind — the reason host-side huge pages must be formed by collapse,
+  // not fault-time allocation, on real reused hosts.
+  double boot_noise_fraction = 0.3;
+  uint64_t seed = 17;
+};
+
+// A single-VM testbed under one system.
+struct TestBed {
+  std::unique_ptr<osim::Machine> machine;
+  int32_t vm_id = 0;
+
+  osim::VirtualMachine& vm() { return machine->vm(vm_id); }
+};
+
+TestBed MakeTestBed(SystemKind kind, const BedOptions& options,
+                    const gemini::GeminiOptions* gemini_options = nullptr);
+
+// One (workload, system) measurement in a clean-slate VM (§6.2).
+workload::RunResult RunCleanSlate(SystemKind kind,
+                                  const workload::WorkloadSpec& spec,
+                                  const BedOptions& options);
+
+// Reused-VM measurement (§6.3): run the SVM prefill to completion in the
+// same VM, tear it down (guest frames return to the guest; host backing
+// stays), then run `spec`.
+workload::RunResult RunReusedVm(SystemKind kind,
+                                const workload::WorkloadSpec& spec,
+                                const BedOptions& options);
+
+// Figure 16 ablation variants of Gemini.
+workload::RunResult RunGeminiAblation(const workload::WorkloadSpec& spec,
+                                      const BedOptions& options,
+                                      const gemini::GeminiOptions& gem);
+
+// Collocated-VM measurement (§6.5): two VMs under the same system on one
+// host; returns the result of the workload in VM 0 while VM 1 runs the
+// companion workload interleaved.
+struct CollocatedResult {
+  workload::RunResult vm0;
+  workload::RunResult vm1;
+};
+CollocatedResult RunCollocated(SystemKind kind,
+                               const workload::WorkloadSpec& spec0,
+                               const workload::WorkloadSpec& spec1,
+                               const BedOptions& options);
+
+// Shrinks a spec's op count (and working set, optionally) for quick runs.
+// Controlled by the GEMINI_FAST environment variable in the bench mains.
+workload::WorkloadSpec ScaleSpec(const workload::WorkloadSpec& spec,
+                                 double op_scale);
+
+// True if the GEMINI_FAST env var requests abbreviated benchmark runs.
+bool FastMode();
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,101 @@
+#include "harness/systems.h"
+
+#include "base/check.h"
+#include "policy/base_only.h"
+#include "policy/ca_paging.h"
+#include "policy/hawkeye.h"
+#include "policy/ingens.h"
+#include "policy/misalignment.h"
+#include "policy/thp.h"
+#include "policy/translation_ranger.h"
+
+namespace harness {
+
+std::string_view SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kHostBVmB:
+      return "Host-B-VM-B";
+    case SystemKind::kMisalignment:
+      return "Misalignment";
+    case SystemKind::kThp:
+      return "THP";
+    case SystemKind::kCaPaging:
+      return "CA-paging";
+    case SystemKind::kRanger:
+      return "Trans-ranger";
+    case SystemKind::kHawkEye:
+      return "HawkEye";
+    case SystemKind::kIngens:
+      return "Ingens";
+    case SystemKind::kGemini:
+      return "Gemini";
+  }
+  return "?";
+}
+
+std::vector<SystemKind> AllSystems() {
+  return {SystemKind::kHostBVmB, SystemKind::kMisalignment, SystemKind::kThp,
+          SystemKind::kCaPaging, SystemKind::kRanger,      SystemKind::kHawkEye,
+          SystemKind::kIngens,   SystemKind::kGemini};
+}
+
+std::vector<SystemKind> AlignmentTableSystems() {
+  return {SystemKind::kThp,     SystemKind::kCaPaging, SystemKind::kRanger,
+          SystemKind::kHawkEye, SystemKind::kIngens,   SystemKind::kGemini};
+}
+
+std::unique_ptr<policy::HugePagePolicy> MakeGuestPolicy(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kHostBVmB:
+    case SystemKind::kMisalignment:
+      return std::make_unique<policy::BaseOnlyPolicy>();
+    case SystemKind::kThp:
+      return std::make_unique<policy::ThpPolicy>();
+    case SystemKind::kCaPaging:
+      return std::make_unique<policy::CaPagingPolicy>();
+    case SystemKind::kRanger:
+      return std::make_unique<policy::TranslationRangerPolicy>();
+    case SystemKind::kHawkEye:
+      return std::make_unique<policy::HawkEyePolicy>();
+    case SystemKind::kIngens:
+      return std::make_unique<policy::IngensPolicy>();
+    case SystemKind::kGemini:
+      SIM_CHECK_MSG(false, "Gemini VMs are wired by AddSystemVm");
+  }
+  return nullptr;
+}
+
+std::unique_ptr<policy::HugePagePolicy> MakeHostPolicy(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kHostBVmB:
+      return std::make_unique<policy::BaseOnlyPolicy>();
+    case SystemKind::kMisalignment:
+      return std::make_unique<policy::AlwaysHugePolicy>();
+    case SystemKind::kThp:
+      return std::make_unique<policy::ThpPolicy>();
+    case SystemKind::kCaPaging:
+      return std::make_unique<policy::CaPagingPolicy>();
+    case SystemKind::kRanger:
+      return std::make_unique<policy::TranslationRangerPolicy>();
+    case SystemKind::kHawkEye:
+      return std::make_unique<policy::HawkEyePolicy>();
+    case SystemKind::kIngens:
+      return std::make_unique<policy::IngensPolicy>();
+    case SystemKind::kGemini:
+      SIM_CHECK_MSG(false, "Gemini VMs are wired by AddSystemVm");
+  }
+  return nullptr;
+}
+
+osim::VirtualMachine& AddSystemVm(osim::Machine& machine, SystemKind kind,
+                                  uint64_t gfn_count,
+                                  const gemini::GeminiOptions* gemini_options) {
+  if (kind == SystemKind::kGemini) {
+    const gemini::GeminiOptions options =
+        gemini_options != nullptr ? *gemini_options : gemini::GeminiOptions{};
+    return gemini::InstallGeminiVm(machine, gfn_count, options);
+  }
+  return machine.AddVm(gfn_count, MakeGuestPolicy(kind), MakeHostPolicy(kind));
+}
+
+}  // namespace harness

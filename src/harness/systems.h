@@ -1,0 +1,47 @@
+// The eight systems the paper compares (§2.3, §6.1) and factories that
+// instantiate a VM under each of them.
+#ifndef SRC_HARNESS_SYSTEMS_H_
+#define SRC_HARNESS_SYSTEMS_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "gemini/gemini_policy.h"
+#include "os/machine.h"
+#include "policy/policy.h"
+
+namespace harness {
+
+enum class SystemKind : uint8_t {
+  kHostBVmB,       // base pages only, both layers
+  kMisalignment,   // guest base-only, host huge-only
+  kThp,            // Linux THP in both layers
+  kCaPaging,       // CA-paging (software) in both layers
+  kRanger,         // Translation Ranger in both layers
+  kHawkEye,        // HawkEye in both layers
+  kIngens,         // Ingens in both layers
+  kGemini,         // the paper's system
+};
+
+std::string_view SystemName(SystemKind kind);
+
+// The paper's comparison order (used as figure columns).
+std::vector<SystemKind> AllSystems();
+// Systems whose well-aligned rate the paper tabulates (Tables 1/3/4).
+std::vector<SystemKind> AlignmentTableSystems();
+
+// Policy factories for the non-Gemini systems.
+std::unique_ptr<policy::HugePagePolicy> MakeGuestPolicy(SystemKind kind);
+std::unique_ptr<policy::HugePagePolicy> MakeHostPolicy(SystemKind kind);
+
+// Adds a VM running under `kind` to the machine (wires the Gemini runtime
+// when needed).  `gemini_options` overrides the defaults for kGemini (used
+// by the Figure 16 ablation).
+osim::VirtualMachine& AddSystemVm(
+    osim::Machine& machine, SystemKind kind, uint64_t gfn_count,
+    const gemini::GeminiOptions* gemini_options = nullptr);
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_SYSTEMS_H_

@@ -1,0 +1,33 @@
+#include "metrics/alignment_audit.h"
+
+#include "base/types.h"
+
+namespace metrics {
+
+AlignmentReport AuditAlignment(const mmu::PageTable& guest_table,
+                               const mmu::PageTable& ept) {
+  AlignmentReport report;
+  report.guest_huge = guest_table.huge_leaves();
+  report.host_huge = ept.huge_leaves();
+  guest_table.ForEachHuge([&](uint64_t gva_region, uint64_t gfn) {
+    (void)gva_region;
+    if (ept.IsHugeMapped(gfn >> base::kHugeOrder)) {
+      ++report.aligned_pairs;
+    }
+  });
+  const uint64_t total_huge = report.guest_huge + report.host_huge;
+  if (total_huge > 0) {
+    report.well_aligned_rate =
+        2.0 * static_cast<double>(report.aligned_pairs) /
+        static_cast<double>(total_huge);
+  }
+  const uint64_t mapped = guest_table.mapped_pages();
+  if (mapped > 0) {
+    report.aligned_coverage =
+        static_cast<double>(report.aligned_pairs * base::kPagesPerHuge) /
+        static_cast<double>(mapped);
+  }
+  return report;
+}
+
+}  // namespace metrics

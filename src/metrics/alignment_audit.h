@@ -1,0 +1,37 @@
+// Alignment auditor: computes the "rate of well-aligned huge pages" the
+// paper reports in Tables 1, 3 and 4.
+//
+// A guest huge page is well-aligned iff its guest-physical target region is
+// backed by a huge EPT leaf; symmetrically for host huge pages.  The rate
+// is the fraction of all huge pages (both layers) that participate in a
+// well-aligned pair:
+//
+//   rate = 2 * |aligned pairs| / (guest huge pages + host huge pages)
+//
+// which is 100 % when the two layers' huge pages match exactly and 0 % when
+// none match.
+#ifndef SRC_METRICS_ALIGNMENT_AUDIT_H_
+#define SRC_METRICS_ALIGNMENT_AUDIT_H_
+
+#include <cstdint>
+
+#include "mmu/page_table.h"
+
+namespace metrics {
+
+struct AlignmentReport {
+  uint64_t guest_huge = 0;
+  uint64_t host_huge = 0;
+  uint64_t aligned_pairs = 0;
+  double well_aligned_rate = 0.0;
+  // Fraction of the guest's *mapped memory* covered by well-aligned huge
+  // pages (a coverage view; the paper's rate is the page-count view above).
+  double aligned_coverage = 0.0;
+};
+
+AlignmentReport AuditAlignment(const mmu::PageTable& guest_table,
+                               const mmu::PageTable& ept);
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_ALIGNMENT_AUDIT_H_

@@ -1,0 +1,41 @@
+#include "metrics/counters.h"
+
+namespace metrics {
+
+StackSnapshot StackSnapshot::Delta(const StackSnapshot& earlier) const {
+  StackSnapshot d;
+  d.tlb_hits = tlb_hits - earlier.tlb_hits;
+  d.tlb_misses = tlb_misses - earlier.tlb_misses;
+  d.tlb_shootdowns = tlb_shootdowns - earlier.tlb_shootdowns;
+  d.translation_cycles = translation_cycles - earlier.translation_cycles;
+  d.guest_fault_cycles = guest_fault_cycles - earlier.guest_fault_cycles;
+  d.guest_overhead_cycles =
+      guest_overhead_cycles - earlier.guest_overhead_cycles;
+  d.host_fault_cycles = host_fault_cycles - earlier.host_fault_cycles;
+  d.host_overhead_cycles = host_overhead_cycles - earlier.host_overhead_cycles;
+  d.guest_promotions = guest_promotions - earlier.guest_promotions;
+  d.host_promotions = host_promotions - earlier.host_promotions;
+  d.pages_copied = pages_copied - earlier.pages_copied;
+  return d;
+}
+
+StackSnapshot Snapshot(osim::Machine& machine, int32_t vm_id) {
+  StackSnapshot s;
+  osim::VirtualMachine& vm = machine.vm(vm_id);
+  s.tlb_hits = vm.engine().tlb().hits();
+  s.tlb_misses = vm.engine().tlb().misses();
+  s.tlb_shootdowns = vm.engine().tlb().shootdowns();
+  s.translation_cycles = vm.engine().translation_cycles();
+  const osim::KernelStats& g = vm.guest().stats();
+  s.guest_fault_cycles = g.fault_cycles;
+  s.guest_overhead_cycles = g.overhead_cycles;
+  s.guest_promotions = g.promotions_in_place + g.promotions_migrated;
+  const osim::KernelStats& h = vm.host_slice().stats();
+  s.host_fault_cycles = h.fault_cycles;
+  s.host_overhead_cycles = h.overhead_cycles;
+  s.host_promotions = h.promotions_in_place + h.promotions_migrated;
+  s.pages_copied = g.pages_copied + h.pages_copied;
+  return s;
+}
+
+}  // namespace metrics

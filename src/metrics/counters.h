@@ -1,0 +1,33 @@
+// Counter snapshots across the stack, so the driver can compute deltas for
+// exactly the measured phase of a run (warm-up excluded, daemons included).
+#ifndef SRC_METRICS_COUNTERS_H_
+#define SRC_METRICS_COUNTERS_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+#include "os/machine.h"
+
+namespace metrics {
+
+struct StackSnapshot {
+  uint64_t tlb_hits = 0;
+  uint64_t tlb_misses = 0;
+  uint64_t tlb_shootdowns = 0;
+  base::Cycles translation_cycles = 0;
+  base::Cycles guest_fault_cycles = 0;
+  base::Cycles guest_overhead_cycles = 0;
+  base::Cycles host_fault_cycles = 0;
+  base::Cycles host_overhead_cycles = 0;
+  uint64_t guest_promotions = 0;
+  uint64_t host_promotions = 0;
+  uint64_t pages_copied = 0;
+
+  StackSnapshot Delta(const StackSnapshot& earlier) const;
+};
+
+StackSnapshot Snapshot(osim::Machine& machine, int32_t vm_id);
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_COUNTERS_H_

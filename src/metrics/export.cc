@@ -1,0 +1,102 @@
+#include "metrics/export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/check.h"
+#include "workload/driver.h"
+
+namespace metrics {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string EscapeCsv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string ToCsv(const std::vector<ResultRow>& rows) {
+  std::ostringstream out;
+  out << "workload,system,throughput,mean_latency,p99_latency,tlb_misses,"
+         "tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,busy_cycles\n";
+  for (const ResultRow& row : rows) {
+    SIM_CHECK(row.result != nullptr);
+    const workload::RunResult& r = *row.result;
+    out << EscapeCsv(row.workload) << ',' << EscapeCsv(row.system) << ','
+        << r.throughput << ',' << r.mean_latency << ',' << r.p99_latency
+        << ',' << r.tlb_misses << ',' << r.tlb_miss_rate << ','
+        << r.alignment.well_aligned_rate << ',' << r.alignment.guest_huge
+        << ',' << r.alignment.host_huge << ',' << r.busy_cycles << '\n';
+  }
+  return out.str();
+}
+
+std::string ToJson(const std::vector<ResultRow>& rows) {
+  std::ostringstream out;
+  out << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SIM_CHECK(rows[i].result != nullptr);
+    const workload::RunResult& r = *rows[i].result;
+    out << "  {\"workload\": \"" << EscapeJson(rows[i].workload)
+        << "\", \"system\": \"" << EscapeJson(rows[i].system)
+        << "\", \"throughput\": " << r.throughput
+        << ", \"mean_latency\": " << r.mean_latency
+        << ", \"p99_latency\": " << r.p99_latency
+        << ", \"tlb_misses\": " << r.tlb_misses
+        << ", \"tlb_miss_rate\": " << r.tlb_miss_rate
+        << ", \"well_aligned_rate\": " << r.alignment.well_aligned_rate
+        << ", \"guest_huge\": " << r.alignment.guest_huge
+        << ", \"host_huge\": " << r.alignment.host_huge
+        << ", \"busy_cycles\": " << r.busy_cycles << '}'
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  SIM_CHECK_MSG(out.good(), "cannot open %s for writing", path.c_str());
+  out << content;
+  out.close();
+  SIM_CHECK_MSG(out.good(), "write to %s failed", path.c_str());
+}
+
+}  // namespace metrics

@@ -1,0 +1,37 @@
+// Machine-readable result export: CSV and JSON renderings of RunResult
+// collections, so bench outputs can be plotted or regression-tracked
+// without scraping the text tables.
+#ifndef SRC_METRICS_EXPORT_H_
+#define SRC_METRICS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace workload {
+struct RunResult;
+}  // namespace workload
+
+namespace metrics {
+
+// One measurement row: a (workload, system) cell of a sweep.
+struct ResultRow {
+  std::string workload;
+  std::string system;
+  const workload::RunResult* result = nullptr;
+};
+
+// Renders rows as CSV with a fixed header:
+// workload,system,throughput,mean_latency,p99_latency,tlb_misses,
+// tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,busy_cycles
+std::string ToCsv(const std::vector<ResultRow>& rows);
+
+// Renders rows as a JSON array of objects with the same fields.
+std::string ToJson(const std::vector<ResultRow>& rows);
+
+// Writes content to a file; aborts on I/O failure (results must not be
+// silently lost).
+void WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_EXPORT_H_

@@ -1,0 +1,41 @@
+#include "metrics/perf_model.h"
+
+#include <cmath>
+
+namespace metrics {
+
+double Normalize(double value, double baseline) {
+  if (baseline <= 0.0) {
+    return 0.0;
+  }
+  return value / baseline;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  size_t counted = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0
+                      : std::exp(log_sum / static_cast<double>(counted));
+}
+
+double ArithmeticMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace metrics

@@ -1,0 +1,20 @@
+// Small numeric helpers shared by the experiment harness and the bench
+// binaries: normalization against a baseline system and summary means, the
+// way the paper reports its figures ("normalized to Host-B-VM-B",
+// "normalized to Gemini", geometric averages across workloads).
+#ifndef SRC_METRICS_PERF_MODEL_H_
+#define SRC_METRICS_PERF_MODEL_H_
+
+#include <vector>
+
+namespace metrics {
+
+// value / baseline, with a guard for degenerate baselines.
+double Normalize(double value, double baseline);
+
+double GeometricMean(const std::vector<double>& values);
+double ArithmeticMean(const std::vector<double>& values);
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_PERF_MODEL_H_

@@ -1,0 +1,59 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/check.h"
+
+namespace metrics {
+
+void TextTable::SetColumns(std::vector<std::string> columns) {
+  columns_ = std::move(columns);
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  SIM_CHECK(columns_.empty() || cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::Print() const {
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), cells[c].c_str(),
+                  c + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  print_row(columns_);
+  size_t total = columns_.empty() ? 0 : (columns_.size() - 1) * 2;
+  for (size_t w : widths) {
+    total += w;
+  }
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string TextTable::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::Pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace metrics

@@ -1,0 +1,33 @@
+// Fixed-width text tables for the bench binaries: every figure/table
+// reproduction prints one of these, with workloads as rows and systems as
+// columns, matching how the paper lays out its results.
+#ifndef SRC_METRICS_TABLE_H_
+#define SRC_METRICS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace metrics {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void SetColumns(std::vector<std::string> columns);
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders to stdout.
+  void Print() const;
+
+  static std::string Fmt(double value, int precision = 2);
+  static std::string Pct(double fraction);  // 0.51 -> "51%"
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_TABLE_H_

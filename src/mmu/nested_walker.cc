@@ -1,0 +1,70 @@
+#include "mmu/nested_walker.h"
+
+namespace mmu {
+
+NestedWalker::NestedWalker(const WalkerConfig& config)
+    : config_(config),
+      guest_pwc_(config.guest_pwc),
+      host_pwc_(config.host_pwc),
+      nested_pt_(config.nested_cache_entries),
+      nested_pd_(config.nested_cache_entries),
+      nested_pdpt_(config.nested_cache_entries),
+      nested_pml4_(config.nested_cache_entries) {}
+
+void NestedWalker::Charge(const WalkCost& cost, WalkResult& out) {
+  out.memory_refs += cost.memory_refs;
+  out.cached_refs += cost.cached_refs;
+}
+
+WalkResult NestedWalker::NativeWalk(uint64_t vpn, base::PageSize leaf_size) {
+  WalkResult result;
+  Charge(guest_pwc_.Walk(vpn, leaf_size), result);
+  result.cycles = result.memory_refs * config_.cycles_per_memory_ref +
+                  result.cached_refs * config_.cycles_per_cached_ref;
+  return result;
+}
+
+void NestedWalker::WalkTablePage(PrefixCache& cache, uint64_t key,
+                                 WalkResult& out) {
+  if (cache.Lookup(key)) {
+    // The GPA->HPA translation of this table page is cached; no
+    // host-dimension references are needed for this step.
+    return;
+  }
+  // Full host-dimension walk to translate the table page (guest page-table
+  // pages are base-mapped in the host).
+  Charge(host_pwc_.Walk(key, base::PageSize::kBase), out);
+  cache.Insert(key);
+}
+
+WalkResult NestedWalker::NestedWalk(uint64_t vpn, base::PageSize guest_leaf,
+                                    uint64_t gfn, base::PageSize host_leaf) {
+  WalkResult result;
+  // Guest-dimension directory/PTE reads: identical structure to a native
+  // walk (the guest PWC covers the upper levels).
+  Charge(guest_pwc_.Walk(vpn, guest_leaf), result);
+  // Host translations of the guest table pages those reads touch, served by
+  // the nested translation caches when warm.
+  WalkTablePage(nested_pml4_, 0, result);
+  WalkTablePage(nested_pdpt_, vpn >> 27, result);
+  WalkTablePage(nested_pd_, vpn >> 18, result);
+  if (guest_leaf == base::PageSize::kBase) {
+    WalkTablePage(nested_pt_, vpn >> 9, result);
+  }
+  // Final host-dimension walk for the data page itself.
+  Charge(host_pwc_.Walk(gfn, host_leaf), result);
+  result.cycles = result.memory_refs * config_.cycles_per_memory_ref +
+                  result.cached_refs * config_.cycles_per_cached_ref;
+  return result;
+}
+
+void NestedWalker::Flush() {
+  guest_pwc_.Flush();
+  host_pwc_.Flush();
+  nested_pt_.Flush();
+  nested_pd_.Flush();
+  nested_pdpt_.Flush();
+  nested_pml4_.Flush();
+}
+
+}  // namespace mmu

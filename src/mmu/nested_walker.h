@@ -1,0 +1,85 @@
+// Page-walk cost model for native (1D) and nested (2D) translation.
+//
+// On a TLB miss in a virtualized system the hardware performs a
+// two-dimensional walk (paper §2.1): it walks the guest page table (up to 4
+// levels), and every guest-table entry it reads is itself addressed by a
+// guest physical address that must be translated through the host (VM) page
+// table — up to 4 more references per step — plus a final host walk for the
+// data page.  Worst case 4 + 5*4 = 24 memory references, vs. 4 natively.
+//
+// Three caches shave references off, mirroring hardware:
+//  * a guest-dimension page-walk cache (upper GVA directory levels),
+//  * a host-dimension page-walk cache (upper GPA directory levels), and
+//  * a nested translation cache holding GPA->HPA translations of the guest
+//    page-table pages themselves (keyed by the GVA prefix each table page
+//    serves), which is what makes most of the 2D walk disappear when
+//    accesses have locality.
+//
+// Huge-page leaves shorten both dimensions: a huge guest leaf removes the
+// guest PT level (and the host translations of PT pages); a huge host leaf
+// shortens every host walk.  This is the paper's "secondary way" huge pages
+// help (§2.2) — note it accrues even to *misaligned* huge pages, which is
+// why Misalignment beats Host-B-VM-B slightly while still paying full TLB
+// misses.
+#ifndef SRC_MMU_NESTED_WALKER_H_
+#define SRC_MMU_NESTED_WALKER_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+#include "mmu/page_walk_cache.h"
+
+namespace mmu {
+
+struct WalkerConfig {
+  PageWalkCache::Config guest_pwc;
+  PageWalkCache::Config host_pwc;
+  uint32_t nested_cache_entries = 64;  // per guest-table level
+  base::Cycles cycles_per_memory_ref = 50;
+  base::Cycles cycles_per_cached_ref = 2;
+};
+
+struct WalkResult {
+  uint32_t memory_refs = 0;
+  uint32_t cached_refs = 0;
+  base::Cycles cycles = 0;
+};
+
+class NestedWalker {
+ public:
+  explicit NestedWalker(const WalkerConfig& config);
+
+  // 1D walk (native mode): walks one table for `vpn` with the given leaf
+  // size.
+  WalkResult NativeWalk(uint64_t vpn, base::PageSize leaf_size);
+
+  // 2D walk (virtualized): walks the guest table for `vpn` (guest leaf
+  // size `guest_leaf`), translating table pages and the final data page
+  // (`gfn`, host leaf size `host_leaf`) through the host dimension.
+  WalkResult NestedWalk(uint64_t vpn, base::PageSize guest_leaf, uint64_t gfn,
+                        base::PageSize host_leaf);
+
+  void Flush();
+
+ private:
+  // Cost of one host-dimension walk for a guest-table page covering the
+  // given GVA prefix; served by the nested cache when warm.
+  void WalkTablePage(PrefixCache& cache, uint64_t key, WalkResult& out);
+
+  void Charge(const WalkCost& cost, WalkResult& out);
+
+  WalkerConfig config_;
+  PageWalkCache guest_pwc_;
+  PageWalkCache host_pwc_;
+  // Nested translation caches for guest table pages, by level.  A guest PT
+  // page serves 2 MiB of GVA space (vpn >> 9), a PD page 1 GiB (vpn >> 18),
+  // a PDPT page 512 GiB (vpn >> 27); the single PML4 page is key 0.
+  PrefixCache nested_pt_;
+  PrefixCache nested_pd_;
+  PrefixCache nested_pdpt_;
+  PrefixCache nested_pml4_;
+};
+
+}  // namespace mmu
+
+#endif  // SRC_MMU_NESTED_WALKER_H_

@@ -1,0 +1,241 @@
+#include "mmu/page_table.h"
+
+#include "base/check.h"
+
+namespace mmu {
+
+using base::kPagesPerHuge;
+
+void PageTable::MapBase(uint64_t vpn, uint64_t frame) {
+  const uint64_t region = vpn >> base::kHugeOrder;
+  const uint32_t slot = static_cast<uint32_t>(vpn & (kPagesPerHuge - 1));
+  Entry& entry = regions_[region];
+  SIM_CHECK_MSG(!entry.is_huge, "MapBase into huge-mapped region %llu",
+                static_cast<unsigned long long>(region));
+  if (!entry.base) {
+    entry.base = std::make_unique<BaseRegion>();
+  }
+  SIM_CHECK_MSG(!entry.base->present[slot], "double map of vpn %llu",
+                static_cast<unsigned long long>(vpn));
+  entry.base->frames[slot] = frame;
+  entry.base->present[slot] = true;
+  ++mapped_base_pages_;
+}
+
+void PageTable::MapHuge(uint64_t region, uint64_t frame) {
+  SIM_CHECK_MSG(frame % kPagesPerHuge == 0,
+                "huge mapping target not huge-aligned: frame %llu",
+                static_cast<unsigned long long>(frame));
+  auto it = regions_.find(region);
+  SIM_CHECK_MSG(it == regions_.end() ||
+                    (!it->second.is_huge && it->second.base &&
+                     it->second.base->present.none()),
+                "MapHuge into non-empty region %llu",
+                static_cast<unsigned long long>(region));
+  Entry& entry = regions_[region];
+  entry.base.reset();
+  entry.is_huge = true;
+  entry.huge_frame = frame;
+  ++huge_leaves_;
+}
+
+uint64_t PageTable::UnmapBase(uint64_t vpn) {
+  const uint64_t region = vpn >> base::kHugeOrder;
+  const uint32_t slot = static_cast<uint32_t>(vpn & (kPagesPerHuge - 1));
+  auto it = regions_.find(region);
+  SIM_CHECK(it != regions_.end() && !it->second.is_huge && it->second.base);
+  BaseRegion& br = *it->second.base;
+  SIM_CHECK(br.present[slot]);
+  const uint64_t frame = br.frames[slot];
+  br.present[slot] = false;
+  --mapped_base_pages_;
+  if (br.present.none()) {
+    regions_.erase(it);
+  }
+  return frame;
+}
+
+uint64_t PageTable::UnmapHuge(uint64_t region) {
+  auto it = regions_.find(region);
+  SIM_CHECK(it != regions_.end() && it->second.is_huge);
+  const uint64_t frame = it->second.huge_frame;
+  regions_.erase(it);
+  --huge_leaves_;
+  return frame;
+}
+
+bool PageTable::CanPromoteInPlace(uint64_t region) const {
+  auto it = regions_.find(region);
+  if (it == regions_.end() || it->second.is_huge || !it->second.base) {
+    return false;
+  }
+  const BaseRegion& br = *it->second.base;
+  if (!br.present.all()) {
+    return false;
+  }
+  const uint64_t first = br.frames[0];
+  if (first % kPagesPerHuge != 0) {
+    return false;
+  }
+  for (uint32_t i = 1; i < kPagesPerHuge; ++i) {
+    if (br.frames[i] != first + i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PageTable::PromoteInPlace(uint64_t region) {
+  SIM_CHECK(CanPromoteInPlace(region));
+  auto it = regions_.find(region);
+  const uint64_t frame = it->second.base->frames[0];
+  it->second.base.reset();
+  it->second.is_huge = true;
+  it->second.huge_frame = frame;
+  mapped_base_pages_ -= kPagesPerHuge;
+  ++huge_leaves_;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> PageTable::PromoteWithMigration(
+    uint64_t region, uint64_t new_frame) {
+  SIM_CHECK(new_frame % kPagesPerHuge == 0);
+  auto it = regions_.find(region);
+  SIM_CHECK(it != regions_.end() && !it->second.is_huge && it->second.base);
+  std::vector<std::pair<uint32_t, uint64_t>> old_pages;
+  const BaseRegion& br = *it->second.base;
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    if (br.present[slot]) {
+      old_pages.emplace_back(slot, br.frames[slot]);
+    }
+  }
+  mapped_base_pages_ -= old_pages.size();
+  it->second.base.reset();
+  it->second.is_huge = true;
+  it->second.huge_frame = new_frame;
+  ++huge_leaves_;
+  return old_pages;
+}
+
+void PageTable::Demote(uint64_t region) {
+  auto it = regions_.find(region);
+  SIM_CHECK(it != regions_.end() && it->second.is_huge);
+  const uint64_t frame = it->second.huge_frame;
+  it->second.is_huge = false;
+  it->second.base = std::make_unique<BaseRegion>();
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    it->second.base->frames[slot] = frame + slot;
+    it->second.base->present[slot] = true;
+  }
+  --huge_leaves_;
+  mapped_base_pages_ += kPagesPerHuge;
+}
+
+std::optional<Translation> PageTable::Lookup(uint64_t vpn) const {
+  const uint64_t region = vpn >> base::kHugeOrder;
+  const uint32_t slot = static_cast<uint32_t>(vpn & (kPagesPerHuge - 1));
+  auto it = regions_.find(region);
+  if (it == regions_.end()) {
+    return std::nullopt;
+  }
+  if (it->second.is_huge) {
+    return Translation{it->second.huge_frame + slot, base::PageSize::kHuge};
+  }
+  const BaseRegion& br = *it->second.base;
+  if (!br.present[slot]) {
+    return std::nullopt;
+  }
+  return Translation{br.frames[slot], base::PageSize::kBase};
+}
+
+bool PageTable::IsHugeMapped(uint64_t region) const {
+  auto it = regions_.find(region);
+  return it != regions_.end() && it->second.is_huge;
+}
+
+uint32_t PageTable::PresentBasePages(uint64_t region) const {
+  auto it = regions_.find(region);
+  if (it == regions_.end() || it->second.is_huge) {
+    return 0;
+  }
+  return static_cast<uint32_t>(it->second.base->present.count());
+}
+
+std::optional<uint64_t> PageTable::BaseFrame(uint64_t region,
+                                             uint32_t slot) const {
+  auto it = regions_.find(region);
+  if (it == regions_.end() || it->second.is_huge ||
+      !it->second.base->present[slot]) {
+    return std::nullopt;
+  }
+  return it->second.base->frames[slot];
+}
+
+uint64_t PageTable::AccessCount(uint64_t region) const {
+  auto it = regions_accessed_.find(region);
+  return it == regions_accessed_.end() ? 0 : it->second;
+}
+
+void PageTable::DecayAccessCounts() {
+  for (auto it = regions_accessed_.begin(); it != regions_accessed_.end();) {
+    it->second >>= 1;
+    if (it->second == 0) {
+      it = regions_accessed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageTable::ForEachHuge(
+    const std::function<void(uint64_t, uint64_t)>& fn) const {
+  for (const auto& [region, entry] : regions_) {
+    if (entry.is_huge) {
+      fn(region, entry.huge_frame);
+    }
+  }
+}
+
+void PageTable::ForEachBaseRegion(
+    const std::function<void(uint64_t, uint32_t)>& fn) const {
+  for (const auto& [region, entry] : regions_) {
+    if (!entry.is_huge && entry.base) {
+      fn(region, static_cast<uint32_t>(entry.base->present.count()));
+    }
+  }
+}
+
+void PageTable::ForEachBasePage(
+    uint64_t region,
+    const std::function<void(uint32_t, uint64_t)>& fn) const {
+  auto it = regions_.find(region);
+  if (it == regions_.end() || it->second.is_huge || !it->second.base) {
+    return;
+  }
+  const BaseRegion& br = *it->second.base;
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    if (br.present[slot]) {
+      fn(slot, br.frames[slot]);
+    }
+  }
+}
+
+void PageTable::CheckInvariants() const {
+  uint64_t bases = 0;
+  uint64_t huges = 0;
+  for (const auto& [region, entry] : regions_) {
+    (void)region;
+    if (entry.is_huge) {
+      SIM_CHECK(!entry.base);
+      SIM_CHECK(entry.huge_frame % kPagesPerHuge == 0);
+      ++huges;
+    } else {
+      SIM_CHECK(entry.base != nullptr);
+      SIM_CHECK(entry.base->present.any());  // empty regions are erased
+      bases += entry.base->present.count();
+    }
+  }
+  SIM_CHECK(bases == mapped_base_pages_);
+  SIM_CHECK(huges == huge_leaves_);
+}
+
+}  // namespace mmu

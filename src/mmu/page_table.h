@@ -1,0 +1,145 @@
+// One layer of address translation: a sparse page table mapping page
+// numbers at 4 KiB granularity to frame numbers, with 2 MiB huge-page
+// leaves.
+//
+// The same class models both layers the paper reasons about:
+//  * a guest process page table (GVA page number -> GFN), and
+//  * a VM page table / EPT (GFN -> host PFN).
+//
+// Internally the table is a map from huge-region index (page number >> 9)
+// to either a huge leaf or a 512-slot base-page table, which is exactly the
+// x86-64 PD/PT distinction that matters for the paper: a leaf at the PD
+// level (huge) vs. leaves at the PT level (base).  Upper directory levels
+// (PML4/PDPT) carry no alignment information and are modeled only in the
+// walk cost (see nested_walker.h).
+//
+// The table also keeps a per-region access counter, bumped by the
+// translation engine on TLB misses.  Promotion policies (HawkEye's
+// access-coverage ranking, Ingens' utilization threshold) read it.
+#ifndef SRC_MMU_PAGE_TABLE_H_
+#define SRC_MMU_PAGE_TABLE_H_
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "base/types.h"
+#include "vmem/frame_space.h"
+
+namespace mmu {
+
+// Result of a successful lookup.
+struct Translation {
+  uint64_t frame;       // 4 KiB frame number of the translated page
+  base::PageSize size;  // granularity of the mapping that produced it
+};
+
+class PageTable {
+ public:
+  PageTable() = default;
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // --- Mapping -----------------------------------------------------------
+
+  // Maps one 4 KiB page.  The enclosing 2 MiB region must not be
+  // huge-mapped and the page must not already be mapped.
+  void MapBase(uint64_t vpn, uint64_t frame);
+
+  // Maps one 2 MiB page.  `region` is the huge-region index (vpn >> 9);
+  // `frame` is the first 4 KiB frame of a huge-aligned 512-frame block.
+  // The region must be entirely unmapped.
+  void MapHuge(uint64_t region, uint64_t frame);
+
+  // Unmaps one 4 KiB page (must be base-mapped).  Returns the frame it
+  // mapped to.
+  uint64_t UnmapBase(uint64_t vpn);
+
+  // Unmaps a huge leaf.  Returns its first frame.
+  uint64_t UnmapHuge(uint64_t region);
+
+  // --- Promotion / demotion ----------------------------------------------
+
+  // True if the region's base pages can be promoted in place: all 512
+  // present, physically contiguous, huge-aligned, and in order.
+  bool CanPromoteInPlace(uint64_t region) const;
+
+  // Replaces 512 in-place-eligible base mappings with one huge leaf.
+  void PromoteInPlace(uint64_t region);
+
+  // Migration-based promotion: remaps the region as a huge leaf at
+  // `new_frame` (huge-aligned).  Returns the old (vpn-slot, frame) pairs of
+  // the pages that were present so the caller can free them and charge copy
+  // costs.  Slots that were not present map to the new frame too (the
+  // kernel zero-fills them as part of the collapse, as khugepaged does).
+  std::vector<std::pair<uint32_t, uint64_t>> PromoteWithMigration(
+      uint64_t region, uint64_t new_frame);
+
+  // Splits a huge leaf into 512 base mappings onto the same frames.
+  void Demote(uint64_t region);
+
+  // --- Lookup / inspection ------------------------------------------------
+
+  std::optional<Translation> Lookup(uint64_t vpn) const;
+
+  bool IsHugeMapped(uint64_t region) const;
+  // Number of present base pages in the region (0 if huge-mapped or empty).
+  uint32_t PresentBasePages(uint64_t region) const;
+  // Frame of a specific base slot if present.
+  std::optional<uint64_t> BaseFrame(uint64_t region, uint32_t slot) const;
+
+  uint64_t mapped_base_pages() const { return mapped_base_pages_; }
+  uint64_t huge_leaves() const { return huge_leaves_; }
+  // Total mapped memory, in 4 KiB pages.
+  uint64_t mapped_pages() const {
+    return mapped_base_pages_ + huge_leaves_ * base::kPagesPerHuge;
+  }
+
+  // --- Access tracking ----------------------------------------------------
+
+  void BumpAccess(uint64_t region) { regions_accessed_[region] += 1; }
+  uint64_t AccessCount(uint64_t region) const;
+  void DecayAccessCounts();  // halves all counters (aging)
+
+  // --- Iteration ----------------------------------------------------------
+
+  // Visits every huge leaf as (region, frame).
+  void ForEachHuge(const std::function<void(uint64_t, uint64_t)>& fn) const;
+  // Visits every region that has at least one base mapping as
+  // (region, present_count).
+  void ForEachBaseRegion(
+      const std::function<void(uint64_t, uint32_t)>& fn) const;
+  // Visits every present base page in a region as (slot, frame).
+  void ForEachBasePage(
+      uint64_t region,
+      const std::function<void(uint32_t, uint64_t)>& fn) const;
+
+  // Verifies counters against the map contents (tests).
+  void CheckInvariants() const;
+
+ private:
+  struct BaseRegion {
+    std::array<uint64_t, base::kPagesPerHuge> frames;
+    std::bitset<base::kPagesPerHuge> present;
+  };
+  struct Entry {
+    // Exactly one of the two is active.
+    std::unique_ptr<BaseRegion> base;  // non-null => base table
+    uint64_t huge_frame = 0;
+    bool is_huge = false;
+  };
+
+  std::map<uint64_t, Entry> regions_;
+  std::map<uint64_t, uint64_t> regions_accessed_;
+  uint64_t mapped_base_pages_ = 0;
+  uint64_t huge_leaves_ = 0;
+};
+
+}  // namespace mmu
+
+#endif  // SRC_MMU_PAGE_TABLE_H_

@@ -1,0 +1,65 @@
+#include "mmu/page_walk_cache.h"
+
+namespace mmu {
+
+bool PrefixCache::Lookup(uint64_t prefix) {
+  auto it = index_.find(prefix);
+  if (it == index_.end()) {
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void PrefixCache::Insert(uint64_t prefix) {
+  auto it = index_.find(prefix);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(prefix);
+  index_[prefix] = lru_.begin();
+}
+
+void PrefixCache::Flush() {
+  lru_.clear();
+  index_.clear();
+}
+
+WalkCost PageWalkCache::Walk(uint64_t vpn, base::PageSize leaf_size) {
+  WalkCost cost;
+  // PML4 reference: one entry per 512 GiB of virtual space.
+  const uint64_t pml4_prefix = vpn >> 27;
+  if (pml4_.Lookup(pml4_prefix)) {
+    ++cost.cached_refs;
+  } else {
+    ++cost.memory_refs;
+    pml4_.Insert(pml4_prefix);
+  }
+  // PDPT reference: one entry per 1 GiB.
+  const uint64_t pdpt_prefix = vpn >> 18;
+  if (pdpt_.Lookup(pdpt_prefix)) {
+    ++cost.cached_refs;
+  } else {
+    ++cost.memory_refs;
+    pdpt_.Insert(pdpt_prefix);
+  }
+  // PD reference (leaf for huge pages) is not covered by the PWC.
+  ++cost.memory_refs;
+  if (leaf_size == base::PageSize::kBase) {
+    // PT reference (leaf for base pages).
+    ++cost.memory_refs;
+  }
+  return cost;
+}
+
+void PageWalkCache::Flush() {
+  pml4_.Flush();
+  pdpt_.Flush();
+}
+
+}  // namespace mmu

@@ -1,0 +1,74 @@
+// Page-walk cache (PWC) model.
+//
+// Hardware page-walk caches hold non-leaf page-table directory entries so
+// that a walk can skip memory references for the upper levels.  The paper
+// (§2.1) notes they are effective for the high levels near the root but the
+// lowest-level directories (the ones pointing at 4 KiB PTEs) are hard to
+// cache.  We therefore model a PWC that covers the PML4 and PDPT levels
+// (skipping up to 2 of the 4 references of a walk) and never the PD/PT
+// levels; this is what makes a huge-page walk (leaf at PD) almost free
+// while a base-page walk still pays for the PD and PT references.
+//
+// Each level is a small fully-associative LRU cache keyed by the
+// virtual-address prefix that indexes that level.
+#ifndef SRC_MMU_PAGE_WALK_CACHE_H_
+#define SRC_MMU_PAGE_WALK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "base/types.h"
+
+namespace mmu {
+
+// One fully-associative LRU cache of address prefixes.
+class PrefixCache {
+ public:
+  explicit PrefixCache(uint32_t capacity) : capacity_(capacity) {}
+
+  // Returns true (and refreshes LRU) if the prefix is cached.
+  bool Lookup(uint64_t prefix);
+  void Insert(uint64_t prefix);
+  void Flush();
+
+ private:
+  uint32_t capacity_;
+  std::list<uint64_t> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+// Walk cost in memory references for one layer of page table.
+struct WalkCost {
+  uint32_t memory_refs = 0;  // directory/PTE reads that went to memory
+  uint32_t cached_refs = 0;  // reads satisfied by the PWC
+};
+
+class PageWalkCache {
+ public:
+  struct Config {
+    uint32_t pml4_entries = 16;
+    uint32_t pdpt_entries = 32;
+  };
+
+  explicit PageWalkCache(const Config& config)
+      : pml4_(config.pml4_entries), pdpt_(config.pdpt_entries) {}
+
+  // Simulates one walk of a 4-level table for `vpn`, with the leaf at the
+  // PT level for base pages (4 refs uncached) or the PD level for huge
+  // pages (3 refs uncached).  Upper levels hit in the PWC when their
+  // directory was walked recently.
+  WalkCost Walk(uint64_t vpn, base::PageSize leaf_size);
+
+  void Flush();
+
+ private:
+  // Address prefixes indexing each level: PML4 covers 512 GiB per entry
+  // (vpn >> 27), PDPT covers 1 GiB (vpn >> 18).
+  PrefixCache pml4_;
+  PrefixCache pdpt_;
+};
+
+}  // namespace mmu
+
+#endif  // SRC_MMU_PAGE_WALK_CACHE_H_

@@ -1,0 +1,145 @@
+#include "mmu/tlb.h"
+
+#include "base/check.h"
+
+namespace mmu {
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  SIM_CHECK(config_.sets > 0 && (config_.sets & (config_.sets - 1)) == 0);
+  SIM_CHECK(config_.ways > 0);
+  entries_.resize(static_cast<size_t>(config_.sets) * config_.ways);
+}
+
+Tlb::Entry* Tlb::FindEntry(uint64_t key, base::PageSize size) {
+  const uint32_t set = SetIndex(key);
+  Entry* base_ptr = &entries_[static_cast<size_t>(set) * config_.ways];
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Entry& e = base_ptr[w];
+    if (e.valid && e.size == size && e.tag == key) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+Tlb::LookupResult Tlb::Lookup(uint64_t vpn) {
+  ++clock_;
+  // Probe the 2 MiB structure first (covers more), then 4 KiB.
+  const uint64_t region = vpn >> base::kHugeOrder;
+  if (Entry* e = FindEntry(region, base::PageSize::kHuge)) {
+    e->lru_stamp = clock_;
+    ++hits_;
+    return LookupResult{true, base::PageSize::kHuge, e->frame};
+  }
+  if (Entry* e = FindEntry(vpn, base::PageSize::kBase)) {
+    e->lru_stamp = clock_;
+    ++hits_;
+    return LookupResult{true, base::PageSize::kBase, e->frame};
+  }
+  ++misses_;
+  return LookupResult{};
+}
+
+void Tlb::UncountFaultMiss() { --misses_; }
+
+void Tlb::DiscountStaleHit() {
+  ++stale_drops_;
+  --hits_;
+  ++misses_;
+}
+
+void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame) {
+  ++clock_;
+  const uint64_t key =
+      size == base::PageSize::kHuge ? (vpn >> base::kHugeOrder) : vpn;
+  if (Entry* existing = FindEntry(key, size)) {
+    existing->lru_stamp = clock_;
+    existing->frame = frame;
+    return;
+  }
+  const uint32_t set = SetIndex(key);
+  Entry* base_ptr = &entries_[static_cast<size_t>(set) * config_.ways];
+  Entry* victim = &base_ptr[0];
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Entry& e = base_ptr[w];
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru_stamp < victim->lru_stamp) {
+      victim = &e;
+    }
+  }
+  victim->valid = true;
+  victim->tag = key;
+  victim->size = size;
+  victim->frame = frame;
+  victim->lru_stamp = clock_;
+}
+
+void Tlb::Flush() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+uint32_t Tlb::ShootdownPage(uint64_t vpn) {
+  uint32_t dropped = 0;
+  if (Entry* e = FindEntry(vpn, base::PageSize::kBase)) {
+    e->valid = false;
+    ++dropped;
+  }
+  if (Entry* e = FindEntry(vpn >> base::kHugeOrder, base::PageSize::kHuge)) {
+    e->valid = false;
+    ++dropped;
+  }
+  shootdowns_ += dropped;
+  return dropped;
+}
+
+uint32_t Tlb::ShootdownRange(uint64_t vpn, uint64_t pages) {
+  // For large ranges a full scan is cheaper than per-page probes.
+  if (pages >= entries_.size()) {
+    uint32_t dropped = 0;
+    const uint64_t end = vpn + pages;
+    for (Entry& e : entries_) {
+      if (!e.valid) {
+        continue;
+      }
+      const uint64_t lo =
+          e.size == base::PageSize::kHuge ? e.tag << base::kHugeOrder : e.tag;
+      const uint64_t hi =
+          lo + (e.size == base::PageSize::kHuge ? base::kPagesPerHuge : 1);
+      if (lo < end && hi > vpn) {
+        e.valid = false;
+        ++dropped;
+      }
+    }
+    shootdowns_ += dropped;
+    return dropped;
+  }
+  uint32_t dropped = 0;
+  for (uint64_t p = 0; p < pages; ++p) {
+    dropped += ShootdownPage(vpn + p);
+  }
+  return dropped;
+}
+
+uint32_t Tlb::entry_count() const {
+  uint32_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.valid) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Tlb::ResetCounters() {
+  hits_ = 0;
+  misses_ = 0;
+  shootdowns_ = 0;
+  stale_drops_ = 0;
+}
+
+}  // namespace mmu

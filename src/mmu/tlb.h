@@ -1,0 +1,104 @@
+// Set-associative TLB model with mixed 4 KiB / 2 MiB entries.
+//
+// Models the unified second-level TLB of the evaluation machine (paper
+// §6.1: 1536 L2 entries shared by 4 KiB and 2 MiB pages): one physical
+// array whose entries are tagged with the page size they translate.  A 4 KiB
+// entry is indexed by the virtual page number, a 2 MiB entry by the
+// huge-region number, so one huge entry covers 512x the address range of a
+// base entry — this is the TLB-coverage effect huge pages buy.
+//
+// Entries also record the translated frame.  The translation engine
+// re-validates a hit against the live page tables and discards entries the
+// kernels have since remapped — this models precise invalidation (INVLPG /
+// single-context INVEPT with a tagged TLB) without the wholesale flushes
+// that would distort short simulations.
+//
+// In virtualized mode the engine only inserts a 2 MiB entry for
+// well-aligned huge pages (guest huge AND host huge); that rule lives in
+// translation_engine.cc, not here.  The TLB itself is layer-agnostic.
+#ifndef SRC_MMU_TLB_H_
+#define SRC_MMU_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace mmu {
+
+struct TlbConfig {
+  uint32_t sets = 128;
+  uint32_t ways = 12;  // 128 x 12 = 1536 entries, matching the paper's L2
+};
+
+class Tlb {
+ public:
+  struct LookupResult {
+    bool hit = false;
+    base::PageSize size = base::PageSize::kBase;
+    // Translated frame: the page's frame for a 4 KiB entry, the first frame
+    // of the 2 MiB block for a huge entry.
+    uint64_t frame = 0;
+  };
+
+  explicit Tlb(const TlbConfig& config);
+
+  // Probes for a translation of `vpn`.  Checks both a 4 KiB entry for the
+  // page and a 2 MiB entry for its huge region.  Updates LRU on hit.
+  LookupResult Lookup(uint64_t vpn);
+
+  // Inserts a translation for `vpn` at the given granularity, evicting the
+  // LRU way of the target set.
+  void Insert(uint64_t vpn, base::PageSize size, uint64_t frame);
+
+  // Reclassifies the most recent hit as a miss (the engine found the entry
+  // stale against the page tables and dropped it).
+  void DiscountStaleHit();
+
+  // Uncounts the most recent miss (the walk ended in a page fault; the
+  // access will be retried and counted then).
+  void UncountFaultMiss();
+
+  // Invalidates every entry (full flush; e.g. context switch).
+  void Flush();
+
+  // Invalidates any entry covering `vpn` (TLB shootdown of one page; also
+  // drops a covering huge entry).  Returns the number of entries dropped.
+  uint32_t ShootdownPage(uint64_t vpn);
+
+  // Invalidates all entries overlapping [vpn, vpn + pages).
+  uint32_t ShootdownRange(uint64_t vpn, uint64_t pages);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t shootdowns() const { return shootdowns_; }
+  uint64_t stale_drops() const { return stale_drops_; }
+  uint32_t entry_count() const;  // currently valid entries
+  void ResetCounters();
+
+ private:
+  struct Entry {
+    uint64_t tag = 0;       // vpn (4K) or huge-region number (2M)
+    uint64_t frame = 0;
+    uint64_t lru_stamp = 0;
+    base::PageSize size = base::PageSize::kBase;
+    bool valid = false;
+  };
+
+  uint32_t SetIndex(uint64_t key) const {
+    return static_cast<uint32_t>(key) & (config_.sets - 1);
+  }
+  Entry* FindEntry(uint64_t key, base::PageSize size);
+
+  TlbConfig config_;
+  std::vector<Entry> entries_;  // sets * ways
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t shootdowns_ = 0;
+  uint64_t stale_drops_ = 0;
+};
+
+}  // namespace mmu
+
+#endif  // SRC_MMU_TLB_H_

@@ -1,0 +1,136 @@
+#include "mmu/translation_engine.h"
+
+#include "base/check.h"
+
+namespace mmu {
+
+using base::kHugeOrder;
+using base::kPagesPerHuge;
+
+TranslationEngine::TranslationEngine(const Config& config,
+                                     PageTable* guest_table,
+                                     PageTable* host_table)
+    : config_(config),
+      guest_table_(guest_table),
+      host_table_(host_table),
+      tlb_(config.tlb),
+      walker_(config.walker) {
+  SIM_CHECK(guest_table_ != nullptr);
+}
+
+TranslateResult TranslationEngine::Translate(uint64_t vpn) {
+  ++translations_;
+  TranslateResult result;
+
+  const Tlb::LookupResult cached = tlb_.Lookup(vpn);
+  if (cached.hit) {
+    // Validate the cached translation against the live tables.  Hardware
+    // achieves the same with precise invalidation (INVLPG, tagged INVEPT);
+    // the simulator re-derives and drops the entry if the kernels remapped
+    // underneath it.
+    const auto guest = guest_table_->Lookup(vpn);
+    bool valid = guest.has_value();
+    uint64_t frame = 0;
+    bool aligned = false;
+    if (valid && host_table_ == nullptr) {
+      frame = guest->frame;
+      aligned = guest->size == base::PageSize::kHuge;
+      if (cached.size == base::PageSize::kHuge) {
+        valid = aligned && (frame & ~(kPagesPerHuge - 1)) == cached.frame;
+      } else {
+        valid = frame == cached.frame;
+      }
+    } else if (valid) {
+      const auto host = host_table_->Lookup(guest->frame);
+      valid = host.has_value();
+      if (valid) {
+        frame = host->frame;
+        aligned = guest->size == base::PageSize::kHuge &&
+                  host->size == base::PageSize::kHuge;
+        if (cached.size == base::PageSize::kHuge) {
+          valid = aligned && (frame & ~(kPagesPerHuge - 1)) == cached.frame;
+        } else {
+          valid = frame == cached.frame;
+        }
+      }
+    }
+    if (valid) {
+      result.tlb_hit = true;
+      result.cycles = config_.tlb_hit_cycles;
+      translation_cycles_ += result.cycles;
+      result.frame = frame;
+      result.well_aligned_huge = aligned;
+      return result;
+    }
+    tlb_.DiscountStaleHit();
+    tlb_.ShootdownPage(vpn);
+  }
+
+  // TLB miss: walk.
+  const uint64_t region = vpn >> kHugeOrder;
+  const auto guest = guest_table_->Lookup(vpn);
+  if (!guest.has_value()) {
+    result.status = TranslateStatus::kGuestFault;
+    result.fault_page = vpn;
+    tlb_.UncountFaultMiss();  // the retried access will count
+    return result;
+  }
+  guest_table_->BumpAccess(region);
+
+  if (host_table_ == nullptr) {
+    const WalkResult walk = walker_.NativeWalk(vpn, guest->size);
+    result.frame = guest->frame;
+    result.cycles = walk.cycles;
+    translation_cycles_ += result.cycles;
+    result.well_aligned_huge = guest->size == base::PageSize::kHuge;
+    tlb_.Insert(vpn, guest->size,
+                guest->size == base::PageSize::kHuge
+                    ? (guest->frame & ~(kPagesPerHuge - 1))
+                    : guest->frame);
+    return result;
+  }
+
+  const auto host = host_table_->Lookup(guest->frame);
+  if (!host.has_value()) {
+    result.status = TranslateStatus::kHostFault;
+    result.fault_page = guest->frame;
+    tlb_.UncountFaultMiss();  // the retried access will count
+    return result;
+  }
+  host_table_->BumpAccess(guest->frame >> kHugeOrder);
+
+  const WalkResult walk =
+      walker_.NestedWalk(vpn, guest->size, guest->frame, host->size);
+  result.frame = host->frame;
+  result.cycles = walk.cycles;
+  translation_cycles_ += result.cycles;
+
+  // The well-alignment rule: only a huge guest page backed by a huge host
+  // page yields a combined translation at 2 MiB granularity.  (A guest huge
+  // leaf always targets a huge-aligned GPA block, and MapHuge guarantees a
+  // huge host leaf targets a huge-aligned HPA block, so size agreement is
+  // sufficient for offset coherence.)
+  const bool aligned = guest->size == base::PageSize::kHuge &&
+                       host->size == base::PageSize::kHuge;
+  result.well_aligned_huge = aligned;
+  if (aligned) {
+    tlb_.Insert(vpn, base::PageSize::kHuge,
+                host->frame & ~(kPagesPerHuge - 1));
+  } else {
+    tlb_.Insert(vpn, base::PageSize::kBase, host->frame);
+  }
+  return result;
+}
+
+void TranslationEngine::FlushAll() {
+  tlb_.Flush();
+  walker_.Flush();
+}
+
+void TranslationEngine::ResetCounters() {
+  translations_ = 0;
+  translation_cycles_ = 0;
+  tlb_.ResetCounters();
+}
+
+}  // namespace mmu

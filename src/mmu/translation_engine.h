@@ -1,0 +1,86 @@
+// The translation engine ties the TLB, the page-walk cost model, and the
+// two page-table layers together.  It is the component that encodes the
+// paper's central observation (§2.2):
+//
+//   A 2 MiB TLB entry can only be installed when the guest maps the region
+//   with a huge page AND the host backs that exact guest-physical region
+//   with a huge page (a *well-aligned* huge page).  In every other
+//   combination the combined GVA->HPA translation only exists at 4 KiB
+//   granularity, so huge pages that are misaligned across the layers do not
+//   increase TLB coverage — they only shorten the page walk.
+//
+// In native mode (no host table) the engine degenerates to a classic
+// TLB + 1D walk.
+#ifndef SRC_MMU_TRANSLATION_ENGINE_H_
+#define SRC_MMU_TRANSLATION_ENGINE_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+#include "mmu/nested_walker.h"
+#include "mmu/page_table.h"
+#include "mmu/tlb.h"
+
+namespace mmu {
+
+enum class TranslateStatus : uint8_t {
+  kOk,
+  kGuestFault,  // no guest mapping for the VPN: guest OS must demand-page
+  kHostFault,   // no host mapping for the GFN: host OS must back the page
+};
+
+struct TranslateResult {
+  TranslateStatus status = TranslateStatus::kOk;
+  uint64_t frame = 0;          // host frame (virtualized) or frame (native)
+  uint64_t fault_page = 0;     // faulting VPN (guest) or GFN (host)
+  base::Cycles cycles = 0;     // translation cost charged to this access
+  bool tlb_hit = false;
+  bool well_aligned_huge = false;  // translated through a 2M TLB-able mapping
+};
+
+class TranslationEngine {
+ public:
+  struct Config {
+    TlbConfig tlb;
+    WalkerConfig walker;
+    base::Cycles tlb_hit_cycles = 1;
+  };
+
+  // `host_table` may be null for a native (non-virtualized) engine.
+  TranslationEngine(const Config& config, PageTable* guest_table,
+                    PageTable* host_table);
+
+  // Translates one access to the page `vpn`.  On kOk the TLB is updated; on
+  // a fault nothing is cached and the caller is expected to resolve the
+  // fault and retry.
+  TranslateResult Translate(uint64_t vpn);
+
+  // Invalidation hooks for unmap/migration/promotion events.
+  void ShootdownPage(uint64_t vpn) { tlb_.ShootdownPage(vpn); }
+  void ShootdownRange(uint64_t vpn, uint64_t pages) {
+    tlb_.ShootdownRange(vpn, pages);
+  }
+  void FlushAll();
+
+  const Tlb& tlb() const { return tlb_; }
+  Tlb& tlb() { return tlb_; }
+
+  uint64_t translations() const { return translations_; }
+  base::Cycles translation_cycles() const { return translation_cycles_; }
+  void ResetCounters();
+
+  bool virtualized() const { return host_table_ != nullptr; }
+
+ private:
+  Config config_;
+  PageTable* guest_table_;
+  PageTable* host_table_;
+  Tlb tlb_;
+  NestedWalker walker_;
+  uint64_t translations_ = 0;
+  base::Cycles translation_cycles_ = 0;
+};
+
+}  // namespace mmu
+
+#endif  // SRC_MMU_TRANSLATION_ENGINE_H_

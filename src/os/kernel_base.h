@@ -1,0 +1,132 @@
+// Shared memory-management mechanics for the guest and host kernels.
+//
+// Every policy (THP, Ingens, HawkEye, CA-paging, Translation Ranger,
+// Gemini, ...) runs on these byte-identical mechanics; the baselines differ
+// only in the decisions they return through the HugePagePolicy interface.
+// KernelBase implements the KernelOps capability surface policies program
+// against: allocation with placement hints, huge-fault handling with
+// optional synchronous compaction, in-place and migration-based promotion,
+// demotion, cost accounting, and TLB invalidation via layer-specific
+// shootdown (implemented by GuestKernel / HostVmKernel).
+#ifndef SRC_OS_KERNEL_BASE_H_
+#define SRC_OS_KERNEL_BASE_H_
+
+#include <memory>
+#include <set>
+
+#include "base/types.h"
+#include "mmu/page_table.h"
+#include "os/cost_model.h"
+#include "os/hooks.h"
+#include "policy/policy.h"
+#include "vmem/buddy_allocator.h"
+#include "vmem/frame_space.h"
+
+namespace osim {
+
+struct KernelStats {
+  uint64_t base_faults = 0;
+  uint64_t huge_faults = 0;
+  uint64_t failed_huge_allocs = 0;
+  uint64_t promotions_in_place = 0;
+  uint64_t promotions_migrated = 0;
+  uint64_t demotions = 0;
+  uint64_t pages_copied = 0;
+  uint64_t pages_swapped_out = 0;
+  uint64_t swap_ins = 0;
+  base::Cycles fault_cycles = 0;     // synchronous, stalls the access
+  base::Cycles overhead_cycles = 0;  // asynchronous daemon work
+};
+
+class KernelBase : public policy::KernelOps {
+ public:
+  // `buddy`, `frames` are owned by the caller (a guest kernel owns its own;
+  // the per-VM host kernels share the host's).
+  KernelBase(base::Layer layer, int32_t vm_id, vmem::BuddyAllocator* buddy,
+             vmem::FrameSpace* frames, const CostModel& costs,
+             MachineHooks* hooks,
+             std::unique_ptr<policy::HugePagePolicy> policy);
+  ~KernelBase() override;
+
+  // --- KernelOps ----------------------------------------------------------
+  base::Layer layer() const override { return layer_; }
+  int32_t vm_id() const override { return vm_id_; }
+  vmem::BuddyAllocator& buddy() override { return *buddy_; }
+  const vmem::BuddyAllocator& buddy() const override { return *buddy_; }
+  mmu::PageTable& table() override { return table_; }
+  const mmu::PageTable& table() const override { return table_; }
+  vmem::FrameSpace& frames() override { return *frames_; }
+  double Fmfi() const override;
+  void ChargeOverhead(base::Cycles cycles) override;
+  void PromoteInPlace(uint64_t region) override;
+  bool PromoteWithMigration(uint64_t region, uint64_t target_frame) override;
+  void Demote(uint64_t region) override;
+  uint64_t DrainTlbMisses() override;
+  base::Cycles Now() const override { return hooks_->Now(); }
+
+  // --- Kernel surface -----------------------------------------------------
+  void DaemonTick() { policy_->OnDaemonTick(*this); }
+
+  // Frees at least `need` frames under memory pressure: asks the policy to
+  // release reserves, then swaps out the coldest base-mapped pages,
+  // demoting huge regions (policy-ranked) when only huge mappings remain.
+  // `exclude_region` (the faulting region) is never chosen as a swap
+  // victim, so the fault that triggered reclaim cannot thrash itself.
+  // Returns false if nothing more can be reclaimed (true OOM).
+  bool ReclaimFrames(uint64_t need,
+                     uint64_t exclude_region = vmem::kInvalidFrame);
+
+  // Pages currently swapped out (guest layer: VPNs; host layer: GFNs).
+  size_t swapped_pages() const { return swapped_.size(); }
+
+  policy::HugePagePolicy& policy() { return *policy_; }
+  const KernelStats& stats() const { return stats_; }
+  const CostModel& costs() const { return costs_; }
+  MachineHooks& hooks() { return *hooks_; }
+
+ protected:
+  // Common demand-fault path.  `region_coverable` says whether a huge
+  // mapping for the faulting region is geometrically possible (VMA covers
+  // it / region inside guest memory).  Returns the cycles to charge
+  // synchronously to the faulting access.
+  base::Cycles DoFault(const policy::FaultInfo& info, bool region_coverable);
+
+  // Layer-specific TLB invalidation after a remap of `region`.
+  virtual void ShootdownRegion(uint64_t region) = 0;
+
+  // Unmaps + frees up to `limit` present pages of a base-mapped region,
+  // marking them swapped.  Returns pages reclaimed.
+  uint64_t SwapOutRegion(uint64_t region, uint64_t limit);
+
+  // Drops swap records for a page range (VMA teardown).
+  void ForgetSwapped(uint64_t page, uint64_t count);
+
+  // Called after the kernel writes freshly mapped frames (zeroing a huge
+  // page, migration copies).  The guest kernel uses this to fault in EPT
+  // backing; the host override is a no-op.  Returns the cycles spent.
+  virtual base::Cycles AfterFramesWritten(uint64_t frame, uint64_t count) {
+    (void)frame;
+    (void)count;
+    return 0;
+  }
+
+  virtual base::Cycles BaseFaultCost() const = 0;
+  virtual base::Cycles HugeFaultCost() const = 0;
+
+  base::Layer layer_;
+  int32_t vm_id_;
+  vmem::BuddyAllocator* buddy_;
+  vmem::FrameSpace* frames_;
+  CostModel costs_;
+  MachineHooks* hooks_;
+  std::unique_ptr<policy::HugePagePolicy> policy_;
+  mmu::PageTable table_;
+  KernelStats stats_;
+  uint64_t tlb_miss_cursor_ = 0;
+  // Swapped-out pages; a later fault on one pays the swap-in penalty.
+  std::set<uint64_t> swapped_;
+};
+
+}  // namespace osim
+
+#endif  // SRC_OS_KERNEL_BASE_H_

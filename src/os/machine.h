@@ -1,0 +1,103 @@
+// The whole simulated platform: host kernel, VMs, per-VM translation
+// engines, the simulated clock, and the daemon scheduler.
+//
+// Periodic work — each layer's promotion daemon (khugepaged analogue) and
+// any registered tasks such as Gemini's misaligned-huge-page scanner — runs
+// whenever the workload driver advances simulated time across a period
+// boundary.
+#ifndef SRC_OS_MACHINE_H_
+#define SRC_OS_MACHINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "os/cost_model.h"
+#include "os/hooks.h"
+#include "os/host_kernel.h"
+#include "os/virtual_machine.h"
+#include "vmem/fragmenter.h"
+
+namespace osim {
+
+struct MachineConfig {
+  // Host physical memory in 4 KiB frames.  Default 2 GiB simulated.
+  uint64_t host_frames = 512 * 1024;
+  CostModel costs;
+  mmu::TranslationEngine::Config engine;
+  // Promotion daemons tick every this many cycles.
+  base::Cycles daemon_period = 2'000'000;
+  uint64_t seed = 1;
+};
+
+// A periodic background component (e.g. Gemini's MHPS).  Owned by the
+// machine so its lifetime covers the policies that reference it.
+class PeriodicTask {
+ public:
+  virtual ~PeriodicTask() = default;
+  virtual void Run(base::Cycles now) = 0;
+};
+
+class Machine final : public MachineHooks {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine() override;
+
+  // Adds a VM with `gfn_count` frames of guest-physical memory and the two
+  // policy instances (guest layer, host layer).
+  VirtualMachine& AddVm(uint64_t gfn_count,
+                        std::unique_ptr<policy::HugePagePolicy> guest_policy,
+                        std::unique_ptr<policy::HugePagePolicy> host_policy);
+
+  // Registers a periodic task; Run() fires every `period` cycles.
+  void AddTask(std::unique_ptr<PeriodicTask> task, base::Cycles period);
+
+  VirtualMachine& vm(int32_t id);
+  size_t vm_count() const { return vms_.size(); }
+  HostKernel& host() { return host_; }
+  const MachineConfig& config() const { return config_; }
+
+  // One data access by the workload in `vm_id`, including `work_cycles` of
+  // the workload's own compute.  Advances the clock and runs due daemons.
+  VirtualMachine::AccessResult Access(int32_t vm_id, uint64_t vpn,
+                                      base::Cycles work_cycles = 0);
+
+  // Advances simulated time (e.g. think time) and runs due daemons.
+  void AdvanceTime(base::Cycles cycles);
+
+  // Fragments host physical memory to the target FMFI (paper §6.1).
+  double FragmentHostMemory(double target_fmfi);
+  // Fragments one VM's guest-physical memory.
+  double FragmentGuestMemory(int32_t vm_id, double target_fmfi);
+
+  // --- MachineHooks --------------------------------------------------------
+  void ShootdownGuestRange(int32_t vm_id, uint64_t vpn,
+                           uint64_t pages) override;
+  base::Cycles EnsureHostBacking(int32_t vm_id, uint64_t gfn,
+                                 uint64_t count) override;
+  void FlushVmTranslations(int32_t vm_id) override;
+  uint64_t VmTlbMisses(int32_t vm_id) const override;
+  base::Cycles Now() const override { return now_; }
+
+ private:
+  void RunDueDaemons();
+
+  MachineConfig config_;
+  base::Cycles now_ = 0;
+  HostKernel host_;
+  std::vector<std::unique_ptr<VirtualMachine>> vms_;
+  std::vector<std::unique_ptr<vmem::Fragmenter>> guest_fragmenters_;
+  std::unique_ptr<vmem::Fragmenter> host_fragmenter_;
+
+  struct ScheduledTask {
+    std::unique_ptr<PeriodicTask> task;
+    base::Cycles period;
+    base::Cycles next_run;
+  };
+  std::vector<ScheduledTask> tasks_;
+  base::Cycles next_daemon_ = 0;
+};
+
+}  // namespace osim
+
+#endif  // SRC_OS_MACHINE_H_

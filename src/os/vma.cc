@@ -1,0 +1,66 @@
+#include "os/vma.h"
+
+#include "base/check.h"
+
+namespace osim {
+
+AddressSpace::AddressSpace(uint64_t first_page) : next_page_(first_page) {
+  next_page_ = base::HugeAlignUp(next_page_ << base::kPageShift) >> base::kPageShift;
+}
+
+Vma& AddressSpace::MapAnonymous(uint64_t pages) {
+  SIM_CHECK(pages > 0);
+  Vma vma;
+  vma.id = next_id_++;
+  vma.start_page = next_page_;
+  vma.pages = pages;
+  // Advance past the VMA plus one huge region of guard gap, keeping the
+  // next VMA huge-aligned.
+  next_page_ = base::HugeAlignUp((vma.end_page() + base::kPagesPerHuge)
+                                 << base::kPageShift) >>
+               base::kPageShift;
+  auto [it, inserted] = vmas_.emplace(vma.start_page, vma);
+  SIM_CHECK(inserted);
+  return it->second;
+}
+
+void AddressSpace::Remove(int32_t vma_id) {
+  for (auto it = vmas_.begin(); it != vmas_.end(); ++it) {
+    if (it->second.id == vma_id) {
+      vmas_.erase(it);
+      return;
+    }
+  }
+  SIM_CHECK_MSG(false, "Remove of unknown vma %d", vma_id);
+}
+
+Vma* AddressSpace::Find(uint64_t vpn) {
+  auto it = vmas_.upper_bound(vpn);
+  if (it == vmas_.begin()) {
+    return nullptr;
+  }
+  --it;
+  return it->second.Contains(vpn) ? &it->second : nullptr;
+}
+
+Vma* AddressSpace::FindById(int32_t vma_id) {
+  for (auto& [start, vma] : vmas_) {
+    (void)start;
+    if (vma.id == vma_id) {
+      return &vma;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Vma*> AddressSpace::Vmas() {
+  std::vector<Vma*> out;
+  out.reserve(vmas_.size());
+  for (auto& [start, vma] : vmas_) {
+    (void)start;
+    out.push_back(&vma);
+  }
+  return out;
+}
+
+}  // namespace osim

@@ -1,0 +1,14 @@
+#include "policy/base_only.h"
+
+namespace policy {
+
+FaultDecision BaseOnlyPolicy::OnFault(KernelOps& kernel,
+                                      const FaultInfo& info) {
+  (void)kernel;
+  (void)info;
+  return FaultDecision{};  // base page, allocator's choice of frame
+}
+
+void BaseOnlyPolicy::OnDaemonTick(KernelOps& kernel) { (void)kernel; }
+
+}  // namespace policy

@@ -1,0 +1,21 @@
+// Base-page-only policy: never allocates or promotes huge pages.  Used for
+// the Host-B-VM-B baseline and as the guest side of the Misalignment
+// scenario.
+#ifndef SRC_POLICY_BASE_ONLY_H_
+#define SRC_POLICY_BASE_ONLY_H_
+
+#include "policy/policy.h"
+
+namespace policy {
+
+class BaseOnlyPolicy final : public HugePagePolicy {
+ public:
+  std::string_view name() const override { return "base-only"; }
+
+  FaultDecision OnFault(KernelOps& kernel, const FaultInfo& info) override;
+  void OnDaemonTick(KernelOps& kernel) override;
+};
+
+}  // namespace policy
+
+#endif  // SRC_POLICY_BASE_ONLY_H_

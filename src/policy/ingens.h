@@ -1,0 +1,39 @@
+// Ingens (Kwon et al., OSDI '16) model.
+//
+// Ingens decouples huge-page allocation from the fault path: faults always
+// get base pages (no synchronous allocation stalls), and a background
+// promotion thread (promote-kth) collapses a region only once its
+// *utilization* crosses a threshold (90 % of the 512 pages present), which
+// controls the memory bloat THP's greedy fault-time allocation causes.
+// Promotion is migration-based with an asynchronous budget, so its cost
+// does not land on request latencies.
+#ifndef SRC_POLICY_INGENS_H_
+#define SRC_POLICY_INGENS_H_
+
+#include "policy/policy.h"
+
+namespace policy {
+
+struct IngensOptions {
+  // Utilization threshold: promote when present >= threshold (90 % = 460).
+  uint32_t promote_min_present = 460;
+  uint32_t promotions_per_tick = 8;
+};
+
+class IngensPolicy : public HugePagePolicy {
+ public:
+  explicit IngensPolicy(const IngensOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "ingens"; }
+
+  FaultDecision OnFault(KernelOps& kernel, const FaultInfo& info) override;
+  void OnDaemonTick(KernelOps& kernel) override;
+
+ protected:
+  IngensOptions options_;
+};
+
+}  // namespace policy
+
+#endif  // SRC_POLICY_INGENS_H_

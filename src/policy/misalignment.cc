@@ -1,0 +1,15 @@
+#include "policy/misalignment.h"
+
+namespace policy {
+
+FaultDecision AlwaysHugePolicy::OnFault(KernelOps& kernel,
+                                        const FaultInfo& info) {
+  (void)info;
+  FaultDecision decision;
+  if (HasFreeMemoryHeadroom(kernel)) {
+    decision.try_huge = true;
+  }
+  return decision;
+}
+
+}  // namespace policy

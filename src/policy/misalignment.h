@@ -1,0 +1,22 @@
+// "Misalignment" scenario policy (paper §2.3): one layer allocates only
+// huge pages, the other only base pages, so every huge page is misaligned
+// by construction.  Used host-side (eager huge allocation at every EPT
+// fault, no daemon) with BaseOnlyPolicy on the guest side.
+#ifndef SRC_POLICY_MISALIGNMENT_H_
+#define SRC_POLICY_MISALIGNMENT_H_
+
+#include "policy/policy.h"
+
+namespace policy {
+
+class AlwaysHugePolicy final : public HugePagePolicy {
+ public:
+  std::string_view name() const override { return "always-huge"; }
+
+  FaultDecision OnFault(KernelOps& kernel, const FaultInfo& info) override;
+  void OnDaemonTick(KernelOps& kernel) override { (void)kernel; }
+};
+
+}  // namespace policy
+
+#endif  // SRC_POLICY_MISALIGNMENT_H_

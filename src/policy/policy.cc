@@ -1,0 +1,37 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace policy {
+
+// Shared helpers for promotion policies live here; the interface itself is
+// header-only.
+
+bool HasFreeMemoryHeadroom(const KernelOps& kernel, double min_free_fraction) {
+  const auto& buddy = kernel.buddy();
+  return static_cast<double>(buddy.free_frames()) >
+         min_free_fraction * static_cast<double>(buddy.frame_count());
+}
+
+std::vector<uint64_t> HugePagePolicy::RankHugeDemotionVictims(
+    KernelOps& kernel, size_t max_victims) {
+  // Default: coldest huge regions first.
+  std::vector<std::pair<uint64_t, uint64_t>> heat;  // (access count, region)
+  kernel.table().ForEachHuge([&](uint64_t region, uint64_t frame) {
+    (void)frame;
+    heat.emplace_back(kernel.table().AccessCount(region), region);
+  });
+  std::sort(heat.begin(), heat.end());
+  std::vector<uint64_t> victims;
+  for (const auto& [count, region] : heat) {
+    (void)count;
+    if (victims.size() >= max_victims) {
+      break;
+    }
+    victims.push_back(region);
+  }
+  return victims;
+}
+
+}  // namespace policy

@@ -1,0 +1,58 @@
+#include "policy/thp.h"
+
+#include <vector>
+
+namespace policy {
+
+FaultDecision ThpPolicy::OnFault(KernelOps& kernel, const FaultInfo& info) {
+  (void)info;
+  FaultDecision decision;
+  if (options_.fault_huge && HasFreeMemoryHeadroom(kernel)) {
+    decision.try_huge = true;
+    decision.synchronous_compaction = options_.synchronous_compaction;
+  }
+  return decision;
+}
+
+void ThpPolicy::OnDaemonTick(KernelOps& kernel) {
+  if (!HasFreeMemoryHeadroom(kernel)) {
+    return;
+  }
+  // khugepaged walks the address space linearly with a resume cursor and a
+  // small per-pass budget of regions *visited* — qualifying or not — which
+  // is what makes it slow on big address spaces.
+  std::vector<std::pair<uint64_t, uint32_t>> visited;
+  uint64_t first_region = vmem::kInvalidFrame;
+  kernel.table().ForEachBaseRegion([&](uint64_t region, uint32_t present) {
+    if (first_region == vmem::kInvalidFrame) {
+      first_region = region;
+    }
+    if (region >= scan_cursor_ &&
+        visited.size() < options_.scan_regions_per_tick) {
+      visited.emplace_back(region, present);
+    }
+  });
+  if (visited.empty() && first_region != vmem::kInvalidFrame) {
+    scan_cursor_ = first_region;  // wrap around
+    kernel.table().ForEachBaseRegion([&](uint64_t region, uint32_t present) {
+      if (region >= scan_cursor_ &&
+          visited.size() < options_.scan_regions_per_tick) {
+        visited.emplace_back(region, present);
+      }
+    });
+  }
+  for (const auto& [region, present] : visited) {
+    kernel.ChargeOverhead(kernel.costs().daemon_scan_region);
+    scan_cursor_ = region + 1;
+    if (present < options_.collapse_min_present) {
+      continue;
+    }
+    if (kernel.table().CanPromoteInPlace(region)) {
+      kernel.PromoteInPlace(region);
+    } else if (!kernel.PromoteWithMigration(region)) {
+      break;  // no order-9 blocks; retry next tick
+    }
+  }
+}
+
+}  // namespace policy

@@ -1,0 +1,56 @@
+#include "policy/translation_ranger.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace policy {
+
+FaultDecision TranslationRangerPolicy::OnFault(KernelOps& kernel,
+                                               const FaultInfo& info) {
+  (void)kernel;
+  (void)info;
+  return FaultDecision{};
+}
+
+void TranslationRangerPolicy::OnDaemonTick(KernelOps& kernel) {
+  // Continuous range maintenance: pages are exchanged to keep VMAs
+  // contiguous whether or not a promotion results, with the associated
+  // TLB shootdowns.
+  const uint64_t mapped = kernel.table().mapped_pages();
+  if (mapped > 0) {
+    const uint64_t moves =
+        std::min<uint64_t>(options_.background_moves_per_tick, mapped / 8);
+    kernel.ChargeOverhead(moves * kernel.costs().copy_page +
+                          (moves / 64 + (moves > 0 ? 1 : 0)) *
+                              kernel.costs().tlb_shootdown);
+  }
+  if (!HasFreeMemoryHeadroom(kernel)) {
+    return;
+  }
+  std::vector<uint64_t> candidates;
+  kernel.table().ForEachBaseRegion([&](uint64_t region, uint32_t present) {
+    kernel.ChargeOverhead(kernel.costs().daemon_scan_region);
+    if (present >= options_.min_present) {
+      candidates.push_back(region);
+    }
+  });
+  uint32_t budget = options_.migrations_per_tick;
+  for (uint64_t region : candidates) {
+    if (budget == 0) {
+      break;
+    }
+    if (kernel.table().CanPromoteInPlace(region)) {
+      kernel.PromoteInPlace(region);
+      --budget;
+      continue;
+    }
+    // Ranger migrates unconditionally to build contiguity, paying copies
+    // and shootdowns even for sparsely populated regions.
+    if (!kernel.PromoteWithMigration(region)) {
+      break;
+    }
+    --budget;
+  }
+}
+
+}  // namespace policy

@@ -1,0 +1,128 @@
+// Binary buddy allocator modeled on the Linux page allocator.
+//
+// Free memory is kept in per-order free lists, order 0 (one 4 KiB frame) to
+// order kMaxOrder-1 (1024 frames = 4 MiB), mirroring Linux MAX_ORDER = 11.
+// Allocation splits the smallest sufficient block; freeing merges buddies
+// greedily.  Two features go beyond the textbook allocator because Gemini
+// needs them:
+//
+//  * AllocateAt(frame, count): targeted allocation of an exact frame range,
+//    used by the Enhanced Memory Allocator to place pages at offsets that
+//    align with huge pages at the other layer, by huge booking to take a
+//    reservation out of the general pool, and by the fragmenter.
+//  * FMFI(order): the free memory fragmentation index used by Ingens and by
+//    Gemini's booking-timeout controller (Algorithm 1) and preallocation
+//    gate.
+//
+// The allocator also exposes its free map so the Gemini contiguity list can
+// enumerate maximal free extents.
+#ifndef SRC_VMEM_BUDDY_ALLOCATOR_H_
+#define SRC_VMEM_BUDDY_ALLOCATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "vmem/frame_space.h"
+
+namespace vmem {
+
+class BuddyAllocator {
+ public:
+  // `selection_seed` randomizes which free block of an order serves each
+  // allocation (bounded choice among the lowest few), modeling the
+  // effectively arbitrary order of Linux's LIFO per-cpu freelists.  Seed 0
+  // selects strictly lowest-address-first (deterministic; used by tests).
+  explicit BuddyAllocator(uint64_t frame_count, uint64_t selection_seed = 0);
+
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+  // Allocates a naturally aligned block of 2^order frames.  Returns the
+  // first frame, or kInvalidFrame if no block of sufficient order exists.
+  // Prefers the lowest-addressed suitable block, like Linux's
+  // address-ordered freelists under the default migratetype.
+  uint64_t Allocate(int order);
+
+  // Allocates the exact range [frame, frame + count).  Succeeds only if the
+  // whole range is currently free.  The range need not be aligned or a
+  // power of two; surrounding free space is re-split into maximal blocks.
+  bool AllocateAt(uint64_t frame, uint64_t count);
+
+  // True if the whole range [frame, frame + count) is free.
+  bool IsRangeFree(uint64_t frame, uint64_t count) const;
+
+  // Frees the range [frame, frame + count), merging buddies.  The range
+  // must be entirely allocated.
+  void Free(uint64_t frame, uint64_t count);
+
+  bool IsFrameFree(uint64_t frame) const;
+
+  uint64_t frame_count() const { return frame_count_; }
+  uint64_t free_frames() const { return free_frames_; }
+  uint64_t allocated_frames() const { return frame_count_ - free_frames_; }
+
+  // Number of free blocks of exactly the given order.
+  uint64_t FreeBlocksOfOrder(int order) const;
+
+  // Largest order with at least one free block, or -1 if memory is full.
+  int LargestFreeOrder() const;
+
+  // How many order-`order` blocks could be carved from the free lists
+  // (counting larger blocks at their split multiplicity).
+  uint64_t BlocksAvailable(int order) const;
+
+  // Free memory fragmentation index for allocations of the given order:
+  //   FMFI = 1 - (frames usable as order-`order` blocks) / (free frames)
+  // 0 means all free memory is available in sufficiently large blocks;
+  // values near 1 mean free memory exists only as smaller fragments.
+  // Returns 1.0 when no memory is free.
+  double Fmfi(int order) const;
+
+  // Monotone counter bumped on every free-map mutation; cheap change
+  // detection for cached views (the contiguity list).
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
+  // Visits each free block as (first_frame, order), in address order.
+  template <typename Fn>
+  void ForEachFreeBlock(Fn&& fn) const {
+    for (const auto& [head, order] : free_blocks_) {
+      fn(head, order);
+    }
+  }
+
+  // Verifies internal invariants (for tests): free lists and the block map
+  // agree, blocks are aligned, no two blocks overlap or are unmerged
+  // buddies.  Aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  // True if any frame of [frame, frame + count) is currently free; used to
+  // reject double frees.
+  bool Intersected(uint64_t frame, uint64_t count) const;
+
+  void InsertFreeBlock(uint64_t head, int order);
+  void RemoveFreeBlock(uint64_t head, int order);
+  // Frees one naturally aligned block and merges with its buddy chain.
+  void FreeBlock(uint64_t head, int order);
+  // Re-inserts the free range [lo, hi) as maximal aligned blocks.
+  void InsertFreeRange(uint64_t lo, uint64_t hi);
+
+  uint64_t frame_count_;
+  uint64_t free_frames_ = 0;
+  uint64_t mutation_epoch_ = 0;
+  bool randomize_ = false;
+  base::Rng rng_;
+  // head frame -> order, for every free block.  Address-ordered.
+  std::map<uint64_t, int> free_blocks_;
+  // Per-order set of free block heads (address-ordered for low-first
+  // allocation).
+  std::array<std::set<uint64_t>, base::kMaxOrder> free_lists_;
+};
+
+}  // namespace vmem
+
+#endif  // SRC_VMEM_BUDDY_ALLOCATOR_H_

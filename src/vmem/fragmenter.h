@@ -1,0 +1,45 @@
+// Memory fragmentation tool (paper §6.1).
+//
+// The paper's evaluation fragments both guest and host physical memory
+// before running each workload, using the free memory fragmentation index
+// (FMFI) to measure the degree of fragmentation.  This class reproduces
+// that tool for the simulator: it pins single frames scattered across the
+// free space until FMFI at the huge-page order reaches the requested
+// target, leaving free memory that exists mostly as sub-2MiB fragments.
+#ifndef SRC_VMEM_FRAGMENTER_H_
+#define SRC_VMEM_FRAGMENTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "vmem/buddy_allocator.h"
+#include "vmem/frame_space.h"
+
+namespace vmem {
+
+class Fragmenter {
+ public:
+  Fragmenter(BuddyAllocator* buddy, FrameSpace* frames, uint64_t seed)
+      : buddy_(buddy), frames_(frames), rng_(seed) {}
+
+  // Pins scattered frames until Fmfi(kHugeOrder) >= target_fmfi or until
+  // `max_fraction` of all frames are pinned (safety valve).  Returns the
+  // achieved FMFI.
+  double FragmentToTarget(double target_fmfi, double max_fraction = 0.5);
+
+  // Releases every pinned frame (restores a pristine free space).
+  void ReleaseAll();
+
+  uint64_t pinned_frames() const { return pinned_.size(); }
+
+ private:
+  BuddyAllocator* buddy_;
+  FrameSpace* frames_;
+  base::Rng rng_;
+  std::vector<uint64_t> pinned_;
+};
+
+}  // namespace vmem
+
+#endif  // SRC_VMEM_FRAGMENTER_H_

@@ -1,0 +1,4 @@
+#include "vmem/frame_space.h"
+
+// Header-only today; this translation unit anchors the library target and
+// keeps a stable home for future out-of-line members.

@@ -1,0 +1,44 @@
+#include "workload/access_pattern.h"
+
+#include "base/check.h"
+
+namespace workload {
+
+AccessStream::AccessStream(const WorkloadSpec& spec, uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+uint64_t AccessStream::Next(uint64_t active_pages) {
+  SIM_CHECK(active_pages >= 1 && active_pages <= spec_.working_set_pages);
+  switch (spec_.access) {
+    case AccessPattern::kUniform:
+      return rng_.NextBelow(active_pages);
+    case AccessPattern::kZipf: {
+      // Rebuild the sampler when the active set grows materially (the
+      // constants depend on n); growth is monotone so this happens a
+      // bounded number of times.
+      if (zipf_ == nullptr || active_pages > zipf_domain_ * 2 ||
+          (zipf_domain_ < spec_.working_set_pages &&
+           active_pages == spec_.working_set_pages)) {
+        zipf_domain_ = active_pages;
+        zipf_ = std::make_unique<base::ZipfSampler>(zipf_domain_,
+                                                    spec_.zipf_theta);
+      }
+      uint64_t page = zipf_->Sample(rng_);
+      if (page >= active_pages) {
+        page = rng_.NextBelow(active_pages);
+      }
+      return page;
+    }
+    case AccessPattern::kScanMix: {
+      if (rng_.NextBool(spec_.scan_jump_prob)) {
+        scan_cursor_ = rng_.NextBelow(active_pages);
+      } else {
+        scan_cursor_ = (scan_cursor_ + 1) % active_pages;
+      }
+      return scan_cursor_;
+    }
+  }
+  return 0;
+}
+
+}  // namespace workload

@@ -1,0 +1,34 @@
+// Access-stream generation: turns a WorkloadSpec into a sequence of page
+// offsets within the working set.
+#ifndef SRC_WORKLOAD_ACCESS_PATTERN_H_
+#define SRC_WORKLOAD_ACCESS_PATTERN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "base/rng.h"
+#include "workload/workload.h"
+
+namespace workload {
+
+// Stateful generator of page indices in [0, working_set_pages).
+class AccessStream {
+ public:
+  AccessStream(const WorkloadSpec& spec, uint64_t seed);
+
+  // Next page index to touch, given the currently usable working-set size
+  // (gradual allocation grows it over time).  `active_pages` must be >= 1
+  // and <= spec.working_set_pages.
+  uint64_t Next(uint64_t active_pages);
+
+ private:
+  const WorkloadSpec& spec_;
+  base::Rng rng_;
+  std::unique_ptr<base::ZipfSampler> zipf_;
+  uint64_t zipf_domain_ = 0;
+  uint64_t scan_cursor_ = 0;
+};
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_ACCESS_PATTERN_H_

@@ -1,0 +1,215 @@
+#include "workload/catalog.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/types.h"
+
+namespace workload {
+namespace {
+
+WorkloadSpec Spec(std::string name, Kind kind, AllocPattern alloc,
+                  AccessPattern access, uint64_t ws_pages, uint32_t vmas,
+                  base::Cycles work, uint64_t ops) {
+  WorkloadSpec s;
+  s.name = std::move(name);
+  s.kind = kind;
+  s.alloc = alloc;
+  s.access = access;
+  s.working_set_pages = ws_pages;
+  s.vma_count = vmas;
+  s.work_per_access = work;
+  s.ops = ops;
+  return s;
+}
+
+constexpr uint64_t kLatencyOps = 240000;
+constexpr uint64_t kThroughputOps = 280000;
+
+}  // namespace
+
+std::vector<WorkloadSpec> CleanSlateCatalog() {
+  std::vector<WorkloadSpec> v;
+
+  // Img-dnn: handwriting recognition (OpenCV nets).  Model weights loaded
+  // upfront; inference walks them with mild locality.
+  {
+    WorkloadSpec s = Spec("Img-dnn", Kind::kLatency, AllocPattern::kStaticUpfront,
+                          AccessPattern::kZipf, 24576, 8, 400, kLatencyOps);
+    s.zipf_theta = 0.4;
+    v.push_back(s);
+  }
+  // Sphinx: speech recognition; large acoustic/language models, static.
+  {
+    WorkloadSpec s = Spec("Sphinx", Kind::kLatency, AllocPattern::kStaticUpfront,
+                          AccessPattern::kZipf, 28672, 8, 450, kLatencyOps);
+    s.zipf_theta = 0.6;
+    v.push_back(s);
+  }
+  // Moses: statistical MT; phrase tables with skewed lookups.
+  {
+    WorkloadSpec s = Spec("Moses", Kind::kLatency, AllocPattern::kStaticUpfront,
+                          AccessPattern::kZipf, 32768, 12, 420, kLatencyOps);
+    s.zipf_theta = 0.8;
+    v.push_back(s);
+  }
+  // Xapian: search engine; posting-list scans over a gradually built index
+  // with many small allocations.
+  {
+    WorkloadSpec s = Spec("Xapian", Kind::kLatency, AllocPattern::kGradual,
+                          AccessPattern::kScanMix, 24576, 32, 380, kLatencyOps);
+    s.scan_jump_prob = 0.08;
+    v.push_back(s);
+  }
+  // Masstree: in-memory K/V (50% GET / 50% PUT); trie grows dynamically,
+  // hot keys zipfian.
+  {
+    WorkloadSpec s = Spec("Masstree", Kind::kLatency, AllocPattern::kGradual,
+                          AccessPattern::kZipf, 32768, 32, 320, kLatencyOps);
+    s.zipf_theta = 0.85;
+    s.churn_period_ops = 70000;
+    v.push_back(s);
+  }
+  // Specjbb: Java middleware.  The JVM maps its heap once and the GC
+  // recycles *inside* it (no VMA churn); bump-pointer allocation commits
+  // regions densely as the heap grows, and collector passes sweep it.
+  {
+    WorkloadSpec s = Spec("Specjbb", Kind::kLatency, AllocPattern::kGradual,
+                          AccessPattern::kZipf, 40960, 16, 350, kLatencyOps);
+    s.zipf_theta = 0.9;
+    // Bump-pointer allocation commits heap regions densely as the heap
+    // grows (modeled by the init pass on each gradual VMA); a light GC
+    // sweep adds the periodic collector pass over the whole heap.
+    s.gc_sweep_period_ops = 100000;
+    v.push_back(s);
+  }
+  // Silo: in-memory OLTP (TPC-C); table partitions allocated upfront.
+  v.push_back(Spec("Silo", Kind::kLatency, AllocPattern::kStaticUpfront,
+                   AccessPattern::kUniform, 28672, 8, 380, kLatencyOps));
+  // RocksDB: LSM store; memtables churn, compactions reallocate.
+  {
+    WorkloadSpec s = Spec("RocksDB", Kind::kLatency, AllocPattern::kGradual,
+                          AccessPattern::kZipf, 36864, 48, 300, kLatencyOps);
+    s.zipf_theta = 0.85;
+    s.churn_period_ops = 40000;
+    v.push_back(s);
+  }
+  // Redis: in-memory K/V; gradual growth, dynamic values, heavy churn.
+  {
+    WorkloadSpec s = Spec("Redis", Kind::kLatency, AllocPattern::kGradual,
+                          AccessPattern::kZipf, 32768, 48, 300, kLatencyOps);
+    s.zipf_theta = 0.85;
+    s.churn_period_ops = 50000;
+    v.push_back(s);
+  }
+  // Memcached: slab allocator; evictions recycle slabs continuously.
+  {
+    WorkloadSpec s = Spec("Memcached", Kind::kLatency, AllocPattern::kGradual,
+                          AccessPattern::kZipf, 28672, 48, 320, kLatencyOps);
+    s.zipf_theta = 0.8;
+    s.churn_period_ops = 35000;
+    v.push_back(s);
+  }
+  // Canneal (PARSEC): simulated annealing, random pointer chasing over a
+  // large netlist — the classic TLB killer.
+  v.push_back(Spec("Canneal", Kind::kThroughput, AllocPattern::kStaticUpfront,
+                   AccessPattern::kUniform, 40960, 8, 250, kThroughputOps));
+  // Streamcluster (PARSEC): streaming k-median; mostly sequential sweeps.
+  {
+    WorkloadSpec s = Spec("Streamcluster", Kind::kThroughput,
+                          AllocPattern::kStaticUpfront,
+                          AccessPattern::kScanMix, 32768, 8, 300,
+                          kThroughputOps);
+    s.scan_jump_prob = 0.04;
+    v.push_back(s);
+  }
+  // dedup (PARSEC): pipelined dedup; hash tables grow, chunk buffers churn.
+  {
+    WorkloadSpec s = Spec("dedup", Kind::kThroughput, AllocPattern::kGradual,
+                          AccessPattern::kZipf, 24576, 16, 320,
+                          kThroughputOps);
+    s.zipf_theta = 0.8;
+    s.churn_period_ops = 35000;
+    v.push_back(s);
+  }
+  // CG.D (NPB): conjugate gradient; static arrays, strided sweeps with
+  // indirections.
+  {
+    WorkloadSpec s = Spec("CG.D", Kind::kThroughput,
+                          AllocPattern::kStaticUpfront,
+                          AccessPattern::kScanMix, 45056, 4, 350,
+                          kThroughputOps);
+    s.scan_jump_prob = 0.02;
+    v.push_back(s);
+  }
+  // 429.mcf (SPEC CPU2006): network simplex, pointer-heavy, uniform.
+  v.push_back(Spec("429.mcf", Kind::kThroughput, AllocPattern::kStaticUpfront,
+                   AccessPattern::kUniform, 36864, 4, 200, kThroughputOps));
+  // SVM: large-scale rank-SVM training; dense static matrices, uniform.
+  v.push_back(Spec("SVM", Kind::kThroughput, AllocPattern::kStaticUpfront,
+                   AccessPattern::kUniform, 49152, 4, 300, kThroughputOps));
+  return v;
+}
+
+std::vector<WorkloadSpec> MotivationCatalog() {
+  std::vector<WorkloadSpec> out;
+  for (const char* name : {"Canneal", "Streamcluster", "Img-dnn", "Specjbb"}) {
+    out.push_back(SpecByName(name));
+  }
+  return out;
+}
+
+std::vector<WorkloadSpec> InsensitiveCatalog() {
+  std::vector<WorkloadSpec> v;
+  // Shore: on-disk TPC-C; I/O bound, small resident set, long think time.
+  {
+    WorkloadSpec s = Spec("Shore", Kind::kLatency, AllocPattern::kStaticUpfront,
+                          AccessPattern::kZipf, 4096, 8, 2500, kLatencyOps / 2);
+    s.zipf_theta = 0.7;
+    s.tlb_sensitive = false;
+    v.push_back(s);
+  }
+  // NPB SP.D: scalar penta-diagonal solver; near-perfectly sequential, so
+  // the TLB covers it even with base pages.
+  {
+    WorkloadSpec s = Spec("SP.D", Kind::kThroughput,
+                          AllocPattern::kStaticUpfront,
+                          AccessPattern::kScanMix, 32768, 4, 800,
+                          kThroughputOps / 2);
+    s.scan_jump_prob = 0.002;
+    s.tlb_sensitive = false;
+    v.push_back(s);
+  }
+  return v;
+}
+
+WorkloadSpec SvmPrefill(uint64_t vm_gfn_count) {
+  // The ~30 GB-working-set SVM run that precedes reused-VM measurements,
+  // scaled to ~60 % of the VM.  A low-jump scan touches every page and
+  // gives the promotion daemons time to form huge pages.
+  const uint64_t ws = base::HugeAlignDown((vm_gfn_count * 3 / 5)
+                                          << base::kPageShift) >>
+                      base::kPageShift;
+  WorkloadSpec s = Spec("SVM-prefill", Kind::kThroughput,
+                        AllocPattern::kStaticUpfront, AccessPattern::kScanMix,
+                        ws, 4, 250, std::max<uint64_t>(ws * 2, 120000));
+  s.scan_jump_prob = 0.01;
+  return s;
+}
+
+WorkloadSpec SpecByName(std::string_view name) {
+  for (const auto& catalog :
+       {CleanSlateCatalog(), InsensitiveCatalog(),
+        std::vector<WorkloadSpec>{SvmPrefill()}}) {
+    for (const WorkloadSpec& s : catalog) {
+      if (s.name == name) {
+        return s;
+      }
+    }
+  }
+  SIM_CHECK_MSG(false, "unknown workload: %.*s",
+                static_cast<int>(name.size()), name.data());
+  return {};
+}
+
+}  // namespace workload

@@ -1,0 +1,35 @@
+// The paper's workload catalogue (Table 2) as synthetic generator specs.
+//
+// Sizes are scaled from the paper's 32 GB VMs to the simulator's default
+// VM (see harness/experiment.h) keeping the *ratios* that drive behaviour:
+// working set vs. TLB reach, allocation dynamism, and access skew.  Each
+// entry documents what it models.
+#ifndef SRC_WORKLOAD_CATALOG_H_
+#define SRC_WORKLOAD_CATALOG_H_
+
+#include <string_view>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace workload {
+
+// All sixteen TLB-sensitive workloads of §6.2/§6.3, in the paper's order.
+std::vector<WorkloadSpec> CleanSlateCatalog();
+
+// The four motivation workloads of §2.3 (Fig. 3 / Table 1).
+std::vector<WorkloadSpec> MotivationCatalog();
+
+// Non-TLB-sensitive workloads used in §6.5 (Shore, NPB SP.D).
+std::vector<WorkloadSpec> InsensitiveCatalog();
+
+// The big-working-set SVM run that precedes reused-VM measurements (§6.3),
+// sized to ~60 % of the given VM's guest-physical memory.
+WorkloadSpec SvmPrefill(uint64_t vm_gfn_count = 131072);
+
+// Look up any catalogued workload by name (aborts if unknown).
+WorkloadSpec SpecByName(std::string_view name);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_CATALOG_H_

@@ -1,0 +1,219 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace workload {
+
+WorkloadDriver::WorkloadDriver(osim::Machine* machine, int32_t vm_id)
+    : machine_(machine), vm_id_(vm_id) {
+  SIM_CHECK(machine_ != nullptr);
+}
+
+WorkloadDriver::~WorkloadDriver() = default;
+
+RunResult WorkloadDriver::Run(const WorkloadSpec& spec,
+                              const DriverOptions& options) {
+  Begin(spec, options);
+  while (Step(spec.ops) > 0) {
+  }
+  return Finish();
+}
+
+void WorkloadDriver::InitVma(uint64_t start_page, uint64_t pages) {
+  if (!spec_.init_memory) {
+    return;
+  }
+  // Applications populate their data structures before using them; this is
+  // what makes regions dense enough to promote.  The cost counts as part
+  // of the run (but not as request latency).
+  for (uint64_t p = 0; p < pages; ++p) {
+    const osim::VirtualMachine::AccessResult ar =
+        machine_->Access(vm_id_, start_page + p, spec_.work_per_access / 4);
+    if (measuring_) {
+      access_cycles_ += ar.cycles;
+    }
+  }
+}
+
+void WorkloadDriver::Begin(const WorkloadSpec& spec,
+                           const DriverOptions& options) {
+  SIM_CHECK(spec.vma_count >= 1);
+  SIM_CHECK(spec.working_set_pages >= spec.vma_count);
+  spec_ = spec;
+  options_ = options;
+
+  osim::GuestKernel& guest = machine_->vm(vm_id_).guest();
+  pages_per_vma_ = spec_.working_set_pages / spec_.vma_count;
+  vma_ids_.clear();
+  vma_starts_.clear();
+
+  access_cycles_ = 0;
+  request_cycles_ = 0;
+  requests_ = 0;
+  measuring_ = options.warmup_fraction <= 0.0;
+  if (measuring_) {
+    begin_snapshot_ = metrics::Snapshot(*machine_, vm_id_);
+    request_overhead_base_ = begin_snapshot_.guest_overhead_cycles +
+                             begin_snapshot_.host_overhead_cycles;
+  }
+  auto map_one = [&]() {
+    osim::Vma& vma = guest.aspace().MapAnonymous(pages_per_vma_);
+    vma_ids_.push_back(vma.id);
+    vma_starts_.push_back(vma.start_page);
+    InitVma(vma.start_page, vma.pages);
+  };
+  if (spec_.alloc == AllocPattern::kStaticUpfront) {
+    for (uint32_t i = 0; i < spec_.vma_count; ++i) {
+      map_one();
+    }
+  } else {
+    map_one();
+  }
+
+  stream_ = std::make_unique<AccessStream>(spec_, options_.seed);
+  churn_rng_ = std::make_unique<base::Rng>(options_.seed ^ 0xdeadbeefull);
+  latencies_ = std::make_unique<base::LatencyRecorder>(16384, options_.seed + 1);
+  op_ = 0;
+  warmup_ops_ = static_cast<uint64_t>(options_.warmup_fraction *
+                                      static_cast<double>(spec_.ops));
+}
+
+bool WorkloadDriver::Done() const { return op_ >= spec_.ops; }
+
+uint64_t WorkloadDriver::Step(uint64_t op_budget) {
+  uint64_t ran = 0;
+  while (ran < op_budget && !Done()) {
+    RunOneOp();
+    ++ran;
+  }
+  return ran;
+}
+
+void WorkloadDriver::RunOneOp() {
+  osim::GuestKernel& guest = machine_->vm(vm_id_).guest();
+
+  if (!measuring_ && op_ >= warmup_ops_) {
+    begin_snapshot_ = metrics::Snapshot(*machine_, vm_id_);
+    request_overhead_base_ = begin_snapshot_.guest_overhead_cycles +
+                             begin_snapshot_.host_overhead_cycles;
+    request_cycles_ = 0;
+    measuring_ = true;
+  }
+
+  // Gradual growth: reach the full VMA count at 40 % of the run, before
+  // the steady-state measurement window opens.
+  if (spec_.alloc == AllocPattern::kGradual &&
+      vma_ids_.size() < spec_.vma_count) {
+    const double frac = std::min(
+        1.0, 2.5 * static_cast<double>(op_) / static_cast<double>(spec_.ops));
+    const auto desired = static_cast<size_t>(
+        1 + frac * static_cast<double>(spec_.vma_count - 1));
+    while (vma_ids_.size() < desired) {
+      osim::Vma& vma = guest.aspace().MapAnonymous(pages_per_vma_);
+      vma_ids_.push_back(vma.id);
+      vma_starts_.push_back(vma.start_page);
+      InitVma(vma.start_page, vma.pages);
+    }
+  }
+
+  // GC sweep: a stop-the-world pass over every active page.  Its cycles
+  // land on the in-flight request (the pause), like a real collector's.
+  if (spec_.gc_sweep_period_ops != 0 && op_ > 0 &&
+      op_ % spec_.gc_sweep_period_ops == 0) {
+    for (size_t v = 0; v < vma_ids_.size(); ++v) {
+      for (uint64_t p = 0; p < pages_per_vma_; ++p) {
+        const osim::VirtualMachine::AccessResult ar =
+            machine_->Access(vm_id_, vma_starts_[v] + p,
+                             spec_.work_per_access / 8);
+        if (measuring_) {
+          access_cycles_ += ar.cycles;
+          request_cycles_ += ar.cycles;
+        }
+      }
+    }
+  }
+
+  // Churn: retire one VMA, allocate a fresh one of the same size.
+  if (spec_.churn_period_ops != 0 && op_ > 0 &&
+      op_ % spec_.churn_period_ops == 0 && vma_ids_.size() > 1) {
+    const size_t victim =
+        static_cast<size_t>(churn_rng_->NextBelow(vma_ids_.size()));
+    guest.UnmapVma(vma_ids_[victim]);
+    osim::Vma& fresh = guest.aspace().MapAnonymous(pages_per_vma_);
+    vma_ids_[victim] = fresh.id;
+    vma_starts_[victim] = fresh.start_page;
+    InitVma(fresh.start_page, fresh.pages);
+  }
+
+  const uint64_t active_pages = pages_per_vma_ * vma_ids_.size();
+  const uint64_t page_index = stream_->Next(active_pages);
+  const size_t vma_index =
+      std::min<size_t>(page_index / pages_per_vma_, vma_ids_.size() - 1);
+  const uint64_t vpn = vma_starts_[vma_index] + (page_index % pages_per_vma_);
+
+  const osim::VirtualMachine::AccessResult ar =
+      machine_->Access(vm_id_, vpn, spec_.work_per_access);
+  if (measuring_) {
+    access_cycles_ += ar.cycles;
+    request_cycles_ += ar.cycles;
+    if (spec_.kind == Kind::kLatency &&
+        (op_ + 1) % spec_.accesses_per_request == 0) {
+      const metrics::StackSnapshot s = metrics::Snapshot(*machine_, vm_id_);
+      const base::Cycles oh =
+          s.guest_overhead_cycles + s.host_overhead_cycles;
+      latencies_->Record(static_cast<double>(request_cycles_) +
+                         static_cast<double>(oh - request_overhead_base_));
+      request_overhead_base_ = oh;
+      request_cycles_ = 0;
+      ++requests_;
+    }
+  }
+  ++op_;
+}
+
+RunResult WorkloadDriver::Finish() {
+  osim::GuestKernel& guest = machine_->vm(vm_id_).guest();
+  const metrics::StackSnapshot end = metrics::Snapshot(*machine_, vm_id_);
+  const metrics::StackSnapshot delta = end.Delta(begin_snapshot_);
+
+  RunResult result;
+  result.workload = spec_.name;
+  result.ops = op_ - std::min(op_, warmup_ops_);
+  result.requests = requests_;
+  result.busy_cycles = access_cycles_ + delta.guest_overhead_cycles +
+                       delta.host_overhead_cycles;
+  result.throughput = result.busy_cycles == 0
+                          ? 0.0
+                          : 1000.0 * static_cast<double>(result.ops) /
+                                static_cast<double>(result.busy_cycles);
+  result.mean_latency = latencies_->Mean();
+  result.p99_latency = latencies_->Percentile(0.99);
+  result.tlb_hits = delta.tlb_hits;
+  result.tlb_misses = delta.tlb_misses;
+  const uint64_t lookups = delta.tlb_hits + delta.tlb_misses;
+  result.tlb_miss_rate = lookups == 0
+                             ? 0.0
+                             : static_cast<double>(delta.tlb_misses) /
+                                   static_cast<double>(lookups);
+  result.counters = delta;
+  result.alignment = metrics::AuditAlignment(
+      guest.table(), machine_->vm(vm_id_).host_slice().table());
+
+  if (options_.teardown) {
+    TearDownAll();
+  }
+  return result;
+}
+
+void WorkloadDriver::TearDownAll() {
+  osim::GuestKernel& guest = machine_->vm(vm_id_).guest();
+  for (int32_t id : vma_ids_) {
+    guest.UnmapVma(id);
+  }
+  vma_ids_.clear();
+  vma_starts_.clear();
+}
+
+}  // namespace workload

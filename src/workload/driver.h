@@ -1,0 +1,106 @@
+// Workload driver: executes a WorkloadSpec against one VM of a machine and
+// reports the measurements the paper's figures use (throughput, mean/p99
+// latency, TLB misses, well-aligned huge page rate).
+//
+// Measurement methodology: the first `warmup_fraction` of operations is a
+// warm-up excluded from all counters (the paper measures steady state);
+// background daemon work is charged into the run's busy time, and for
+// latency workloads the daemon work that occurred during a request is added
+// to that request's latency (daemons preempt the vCPU they share).
+//
+// The driver is steppable (Begin / Step / Finish) so the collocated-VM
+// experiments (§6.5) can interleave two workloads on one host; Run() is the
+// one-shot convenience wrapper.
+#ifndef SRC_WORKLOAD_DRIVER_H_
+#define SRC_WORKLOAD_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/stats.h"
+#include "metrics/alignment_audit.h"
+#include "metrics/counters.h"
+#include "os/machine.h"
+#include "workload/access_pattern.h"
+#include "workload/workload.h"
+
+namespace workload {
+
+struct RunResult {
+  std::string workload;
+  uint64_t ops = 0;
+  uint64_t requests = 0;
+  base::Cycles busy_cycles = 0;  // access + sync faults + daemon overhead
+  double throughput = 0.0;       // ops per 1000 cycles
+  double mean_latency = 0.0;     // cycles per request
+  double p99_latency = 0.0;
+  uint64_t tlb_hits = 0;
+  uint64_t tlb_misses = 0;
+  double tlb_miss_rate = 0.0;
+  metrics::AlignmentReport alignment;
+  metrics::StackSnapshot counters;  // deltas over the measured phase
+};
+
+struct DriverOptions {
+  uint64_t seed = 7;
+  // Fraction of ops excluded from counters as warm-up.  The default
+  // measures steady state (PARSEC region-of-interest / TailBench serving
+  // phase convention): the initial population of memory and the promotion
+  // transient are over before measurement starts.  Set 0 to measure the
+  // whole run including transients.
+  double warmup_fraction = 0.6;
+  // Tear the workload's VMAs down after the run (models process exit; used
+  // between phases of the reused-VM experiments).
+  bool teardown = false;
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(osim::Machine* machine, int32_t vm_id);
+  ~WorkloadDriver();
+
+  // One-shot execution.
+  RunResult Run(const WorkloadSpec& spec, const DriverOptions& options = {});
+
+  // Stepped execution for interleaving.
+  void Begin(const WorkloadSpec& spec, const DriverOptions& options = {});
+  // Executes up to `op_budget` operations; returns how many ran (0 once the
+  // workload is complete).
+  uint64_t Step(uint64_t op_budget);
+  bool Done() const;
+  RunResult Finish();
+
+  // Unmaps every VMA created by the current/last run (workload exit).
+  void TearDownAll();
+
+ private:
+  void RunOneOp();
+  void InitVma(uint64_t start_page, uint64_t pages);
+
+  osim::Machine* machine_;
+  int32_t vm_id_;
+
+  // Per-run state (valid between Begin and Finish).
+  WorkloadSpec spec_;
+  DriverOptions options_;
+  std::unique_ptr<AccessStream> stream_;
+  std::unique_ptr<base::Rng> churn_rng_;
+  std::unique_ptr<base::LatencyRecorder> latencies_;
+  std::vector<int32_t> vma_ids_;
+  std::vector<uint64_t> vma_starts_;
+  uint64_t pages_per_vma_ = 0;
+  uint64_t op_ = 0;
+  uint64_t warmup_ops_ = 0;
+  bool measuring_ = false;
+  metrics::StackSnapshot begin_snapshot_;
+  base::Cycles access_cycles_ = 0;
+  base::Cycles request_cycles_ = 0;
+  base::Cycles request_overhead_base_ = 0;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_DRIVER_H_

@@ -1,0 +1,3 @@
+#include "workload/workload.h"
+
+// WorkloadSpec is a plain aggregate; this TU anchors the target.

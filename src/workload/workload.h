@@ -1,0 +1,83 @@
+// Workload model.
+//
+// The paper evaluates real applications (Table 2).  Those binaries need
+// tens of GB and real hardware; the simulator replaces each with a
+// parameterized synthetic generator that reproduces the memory behaviour
+// the paper's effects depend on:
+//
+//  * working-set size           -> TLB pressure
+//  * allocation pattern         -> static upfront arrays (SVM, CG.D) vs.
+//                                  gradual growth with dynamic structures
+//                                  (Redis, RocksDB), which the paper calls
+//                                  out as the fragmenting/dynamic cases
+//  * VMA churn                  -> free + reallocate cycles (key/value
+//                                  stores), exercising the huge bucket
+//  * access distribution        -> uniform / zipfian / scan mixes
+//  * request structure          -> latency-reporting (TailBench-style) vs.
+//                                  pure throughput
+//  * compute per access         -> how TLB-sensitive the workload is
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.h"
+
+namespace workload {
+
+enum class AllocPattern : uint8_t {
+  kStaticUpfront,  // all VMAs mapped before the access phase
+  kGradual,        // VMAs mapped as the working set grows
+};
+
+enum class AccessPattern : uint8_t {
+  kUniform,  // uniform random over the working set
+  kZipf,     // zipfian (hot head), typical for key/value stores
+  kScanMix,  // mostly sequential scans with random jumps
+};
+
+enum class Kind : uint8_t {
+  kThroughput,  // reports ops/cycle only
+  kLatency,     // request-structured; reports mean and p99 latency too
+};
+
+struct WorkloadSpec {
+  std::string name;
+  Kind kind = Kind::kThroughput;
+  AllocPattern alloc = AllocPattern::kStaticUpfront;
+  AccessPattern access = AccessPattern::kUniform;
+
+  uint64_t working_set_pages = 16384;  // 64 MiB default
+  uint32_t vma_count = 8;              // working set split across VMAs
+
+  double zipf_theta = 0.99;    // for kZipf
+  double scan_jump_prob = 0.05;  // for kScanMix: probability of a random jump
+
+  uint64_t ops = 400000;              // total accesses
+  uint32_t accesses_per_request = 16; // kLatency: accesses per request
+  base::Cycles work_per_access = 300; // compute between accesses
+
+  // Dynamic-memory churn: every `churn_period_ops` (0 = never), one VMA is
+  // freed and a fresh one of the same size is mapped.
+  uint64_t churn_period_ops = 0;
+
+  // Touch every page of a VMA once when it is created (applications load
+  // or memset their data structures).  Sparse-heap workloads (Specjbb)
+  // turn this off.
+  bool init_memory = true;
+
+  // Stop-the-world sweep every N ops touching every active page (0 =
+  // never): models a garbage collector's marking/compaction pass, which
+  // both densifies the heap at 2 MiB granularity and injects pause spikes
+  // into request latencies.
+  uint64_t gc_sweep_period_ops = 0;
+
+  // Non-TLB-sensitive workloads (paper: Shore, NPB SP.D) do little
+  // pointer-chasing per unit compute.
+  bool tlb_sensitive = true;
+};
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

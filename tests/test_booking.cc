@@ -1,0 +1,155 @@
+// Tests for huge booking: the reservation manager and the Algorithm 1
+// booking-timeout controller.
+#include "gemini/huge_booking.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+#include "vmem/buddy_allocator.h"
+#include "vmem/frame_space.h"
+
+namespace {
+
+using base::kPagesPerHuge;
+using gemini::BookingManager;
+using gemini::BookingTimeoutController;
+
+class BookingTest : public ::testing::Test {
+ protected:
+  BookingTest()
+      : buddy_(32 * kPagesPerHuge),
+        frames_(32 * kPagesPerHuge),
+        booking_(&buddy_, &frames_, /*owner=*/0) {}
+
+  vmem::BuddyAllocator buddy_;
+  vmem::FrameSpace frames_;
+  BookingManager booking_;
+};
+
+TEST_F(BookingTest, BookTakesRegionOutOfThePool) {
+  ASSERT_TRUE(booking_.Book(2 * kPagesPerHuge, /*now=*/0, /*timeout=*/1000));
+  EXPECT_TRUE(booking_.IsBooked(2 * kPagesPerHuge));
+  EXPECT_FALSE(buddy_.IsRangeFree(2 * kPagesPerHuge, kPagesPerHuge));
+  EXPECT_EQ(frames_.CountUse(vmem::FrameUse::kBooked), kPagesPerHuge);
+}
+
+TEST_F(BookingTest, BookFailsWhenRegionNotFree) {
+  ASSERT_TRUE(buddy_.AllocateAt(3 * kPagesPerHuge + 7, 1));
+  EXPECT_FALSE(booking_.Book(3 * kPagesPerHuge, 0, 1000));
+  EXPECT_EQ(booking_.booked_count(), 0u);
+}
+
+TEST_F(BookingTest, DoubleBookIsIdempotent) {
+  ASSERT_TRUE(booking_.Book(kPagesPerHuge, 0, 1000));
+  EXPECT_TRUE(booking_.Book(kPagesPerHuge, 0, 1000));
+  EXPECT_EQ(booking_.booked_count(), 1u);
+}
+
+TEST_F(BookingTest, AssignReleasesForTargetedAllocation) {
+  ASSERT_TRUE(booking_.Book(4 * kPagesPerHuge, 0, 1000));
+  EXPECT_TRUE(booking_.Assign(4 * kPagesPerHuge));
+  EXPECT_FALSE(booking_.IsBooked(4 * kPagesPerHuge));
+  // The just-released frames are free for an exact-placement allocation.
+  EXPECT_TRUE(buddy_.AllocateAt(4 * kPagesPerHuge, kPagesPerHuge));
+}
+
+TEST_F(BookingTest, AssignUnknownFails) {
+  EXPECT_FALSE(booking_.Assign(5 * kPagesPerHuge));
+}
+
+TEST_F(BookingTest, AssignAnyPopsABooking) {
+  ASSERT_TRUE(booking_.Book(1 * kPagesPerHuge, 0, 1000));
+  ASSERT_TRUE(booking_.Book(2 * kPagesPerHuge, 0, 1000));
+  const uint64_t frame = booking_.AssignAny();
+  EXPECT_NE(frame, vmem::kInvalidFrame);
+  EXPECT_EQ(booking_.booked_count(), 1u);
+  EXPECT_EQ(booking_.AssignAny() == vmem::kInvalidFrame,
+            booking_.booked_count() != 1u);
+}
+
+TEST_F(BookingTest, AssignAnyEmptyReturnsInvalid) {
+  EXPECT_EQ(booking_.AssignAny(), vmem::kInvalidFrame);
+}
+
+TEST_F(BookingTest, ExpireTimeoutsReleasesOnlyDue) {
+  ASSERT_TRUE(booking_.Book(1 * kPagesPerHuge, /*now=*/0, /*timeout=*/100));
+  ASSERT_TRUE(booking_.Book(2 * kPagesPerHuge, /*now=*/0, /*timeout=*/500));
+  EXPECT_EQ(booking_.ExpireTimeouts(200), 1u);
+  EXPECT_FALSE(booking_.IsBooked(1 * kPagesPerHuge));
+  EXPECT_TRUE(booking_.IsBooked(2 * kPagesPerHuge));
+  EXPECT_TRUE(buddy_.IsRangeFree(1 * kPagesPerHuge, kPagesPerHuge));
+}
+
+TEST_F(BookingTest, ReleaseAllRestoresPool) {
+  ASSERT_TRUE(booking_.Book(1 * kPagesPerHuge, 0, 100));
+  ASSERT_TRUE(booking_.Book(2 * kPagesPerHuge, 0, 100));
+  booking_.ReleaseAll();
+  EXPECT_EQ(booking_.booked_count(), 0u);
+  EXPECT_EQ(buddy_.free_frames(), 32 * kPagesPerHuge);
+  EXPECT_EQ(frames_.CountUse(vmem::FrameUse::kBooked), 0u);
+}
+
+// --- Algorithm 1 -----------------------------------------------------------
+
+TEST(TimeoutController, StartsAtInitialValue) {
+  BookingTimeoutController controller(1000);
+  EXPECT_EQ(controller.effective_timeout(), 1000u);
+  EXPECT_DOUBLE_EQ(controller.desired_timeout(), 1000.0);
+}
+
+TEST(TimeoutController, FirstPeriodStartsUpwardProbe) {
+  BookingTimeoutController controller(1000);
+  controller.OnPeriod(/*misses=*/100, /*fmfi=*/0.5);
+  // Probing T_d * 1.1.
+  EXPECT_EQ(controller.effective_timeout(), 1100u);
+}
+
+TEST(TimeoutController, AcceptsUpwardProbeWhenMissesDropAndFmfiStable) {
+  BookingTimeoutController controller(1000);
+  controller.OnPeriod(100, 0.5);  // baseline
+  controller.OnPeriod(80, 0.5);   // probe: fewer misses, same fragmentation
+  EXPECT_NEAR(controller.desired_timeout(), 1100.0, 1e-9);
+}
+
+TEST(TimeoutController, RejectsUpwardProbeWhenFmfiWorsens) {
+  BookingTimeoutController controller(1000);
+  controller.OnPeriod(100, 0.5);  // baseline
+  controller.OnPeriod(80, 0.6);   // fewer misses BUT more fragmentation
+  EXPECT_DOUBLE_EQ(controller.desired_timeout(), 1000.0);
+  // The controller re-baselines at T_d before probing down.
+  EXPECT_EQ(controller.effective_timeout(), 1000u);
+}
+
+TEST(TimeoutController, DownwardProbeAfterRejectedUpward) {
+  BookingTimeoutController controller(1000);
+  controller.OnPeriod(100, 0.5);  // baseline
+  controller.OnPeriod(120, 0.5);  // probe up rejected (more misses)
+  controller.OnPeriod(100, 0.5);  // re-baseline
+  EXPECT_EQ(controller.effective_timeout(), 900u);  // probing T_d * 0.9
+  controller.OnPeriod(90, 0.5);   // probe down accepted
+  EXPECT_NEAR(controller.desired_timeout(), 900.0, 1e-9);
+}
+
+TEST(TimeoutController, RejectedDownwardKeepsDesired) {
+  BookingTimeoutController controller(1000);
+  controller.OnPeriod(100, 0.5);
+  controller.OnPeriod(120, 0.5);  // up rejected
+  controller.OnPeriod(100, 0.5);  // re-baseline
+  controller.OnPeriod(130, 0.5);  // down rejected
+  EXPECT_DOUBLE_EQ(controller.desired_timeout(), 1000.0);
+  EXPECT_EQ(controller.effective_timeout(), 1000u);
+}
+
+TEST(TimeoutController, ConvergesUpwardUnderConsistentImprovement) {
+  BookingTimeoutController controller(1000);
+  // Misses keep decreasing whenever the timeout grows.
+  uint64_t misses = 1000;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    controller.OnPeriod(misses, 0.5);  // baseline
+    misses -= 50;
+    controller.OnPeriod(misses, 0.5);  // probe up accepted
+  }
+  EXPECT_GT(controller.desired_timeout(), 2000.0);
+}
+
+}  // namespace

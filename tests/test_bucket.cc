@@ -1,0 +1,100 @@
+// Tests for the huge bucket (retention and reuse of freed well-aligned
+// regions).
+#include "gemini/huge_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+#include "vmem/buddy_allocator.h"
+#include "vmem/frame_space.h"
+
+namespace {
+
+using base::kPagesPerHuge;
+using gemini::HugeBucket;
+
+class BucketTest : public ::testing::Test {
+ protected:
+  BucketTest()
+      : buddy_(16 * kPagesPerHuge),
+        frames_(16 * kPagesPerHuge),
+        bucket_(&buddy_, &frames_, /*owner=*/0, /*retention=*/1000) {}
+
+  // Simulates a region the workload owned and is now freeing: allocated in
+  // the buddy, about to be handed to the bucket instead of freed.
+  uint64_t MakeOwnedRegion(uint64_t region_index) {
+    const uint64_t frame = region_index * kPagesPerHuge;
+    EXPECT_TRUE(buddy_.AllocateAt(frame, kPagesPerHuge));
+    return frame;
+  }
+
+  vmem::BuddyAllocator buddy_;
+  vmem::FrameSpace frames_;
+  HugeBucket bucket_;
+};
+
+TEST_F(BucketTest, DepositRetainsFrames) {
+  const uint64_t frame = MakeOwnedRegion(2);
+  bucket_.Deposit(frame, /*now=*/0);
+  EXPECT_EQ(bucket_.held_count(), 1u);
+  EXPECT_EQ(bucket_.deposits(), 1u);
+  // Frames stay out of the buddy while retained.
+  EXPECT_FALSE(buddy_.IsRangeFree(frame, kPagesPerHuge));
+  EXPECT_EQ(frames_.CountUse(vmem::FrameUse::kBucketed), kPagesPerHuge);
+}
+
+TEST_F(BucketTest, TakeAnyReleasesForTargetedAllocation) {
+  const uint64_t frame = MakeOwnedRegion(2);
+  bucket_.Deposit(frame, 0);
+  const uint64_t taken = bucket_.TakeAny();
+  EXPECT_EQ(taken, frame);
+  EXPECT_EQ(bucket_.reuses(), 1u);
+  EXPECT_EQ(bucket_.held_count(), 0u);
+  EXPECT_TRUE(buddy_.AllocateAt(frame, kPagesPerHuge));
+}
+
+TEST_F(BucketTest, TakeAnyEmptyReturnsInvalid) {
+  EXPECT_EQ(bucket_.TakeAny(), vmem::kInvalidFrame);
+}
+
+TEST_F(BucketTest, ExpireRetentionReleasesOldRegions) {
+  bucket_.Deposit(MakeOwnedRegion(1), /*now=*/0);     // expires at 1000
+  bucket_.Deposit(MakeOwnedRegion(2), /*now=*/500);   // expires at 1500
+  EXPECT_EQ(bucket_.ExpireRetention(1200), 1u);
+  EXPECT_EQ(bucket_.held_count(), 1u);
+  EXPECT_TRUE(buddy_.IsRangeFree(1 * kPagesPerHuge, kPagesPerHuge));
+  EXPECT_FALSE(buddy_.IsRangeFree(2 * kPagesPerHuge, kPagesPerHuge));
+}
+
+TEST_F(BucketTest, ReleaseSomeUnderPressure) {
+  bucket_.Deposit(MakeOwnedRegion(1), 0);
+  bucket_.Deposit(MakeOwnedRegion(2), 0);
+  bucket_.Deposit(MakeOwnedRegion(3), 0);
+  EXPECT_EQ(bucket_.ReleaseSome(2), 2u);
+  EXPECT_EQ(bucket_.held_count(), 1u);
+}
+
+TEST_F(BucketTest, ReleaseAllEmptiesAndFrees) {
+  bucket_.Deposit(MakeOwnedRegion(1), 0);
+  bucket_.Deposit(MakeOwnedRegion(2), 0);
+  bucket_.ReleaseAll();
+  EXPECT_EQ(bucket_.held_count(), 0u);
+  EXPECT_EQ(buddy_.free_frames(), 16 * kPagesPerHuge);
+  EXPECT_EQ(frames_.CountUse(vmem::FrameUse::kBucketed), 0u);
+}
+
+TEST_F(BucketTest, DestructorReleasesHeldRegions) {
+  {
+    HugeBucket scoped(&buddy_, &frames_, 0, 1000);
+    const uint64_t frame = MakeOwnedRegion(5);
+    scoped.Deposit(frame, 0);
+    EXPECT_FALSE(buddy_.IsRangeFree(frame, kPagesPerHuge));
+  }
+  EXPECT_EQ(buddy_.free_frames(), 16 * kPagesPerHuge);
+}
+
+TEST_F(BucketTest, UnalignedDepositAborts) {
+  EXPECT_DEATH(bucket_.Deposit(kPagesPerHuge + 3, 0), "");
+}
+
+}  // namespace

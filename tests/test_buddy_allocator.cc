@@ -1,0 +1,255 @@
+// Tests for the buddy allocator: invariants, targeted allocation, FMFI,
+// and randomized property sweeps against a frame-ownership reference.
+#include "vmem/buddy_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/types.h"
+
+namespace {
+
+using base::kHugeOrder;
+using base::kMaxOrder;
+using base::kPagesPerHuge;
+using vmem::BuddyAllocator;
+using vmem::kInvalidFrame;
+
+TEST(Buddy, FreshAllocatorIsFullyFree) {
+  BuddyAllocator buddy(4096);
+  EXPECT_EQ(buddy.free_frames(), 4096u);
+  EXPECT_EQ(buddy.allocated_frames(), 0u);
+  buddy.CheckInvariants();
+}
+
+TEST(Buddy, NonPowerOfTwoSizeSeedsCorrectly) {
+  BuddyAllocator buddy(4096 + 512 + 3);
+  EXPECT_EQ(buddy.free_frames(), 4096u + 512 + 3);
+  buddy.CheckInvariants();
+}
+
+TEST(Buddy, AllocateReturnsAlignedBlocks) {
+  BuddyAllocator buddy(1 << 14);
+  for (int order = 0; order < kMaxOrder; ++order) {
+    const uint64_t frame = buddy.Allocate(order);
+    ASSERT_NE(frame, kInvalidFrame);
+    EXPECT_EQ(frame % (1ull << order), 0u) << "order " << order;
+  }
+  buddy.CheckInvariants();
+}
+
+TEST(Buddy, AllocateExhaustsAndFails) {
+  BuddyAllocator buddy(16);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_NE(buddy.Allocate(0), kInvalidFrame);
+  }
+  EXPECT_EQ(buddy.Allocate(0), kInvalidFrame);
+  EXPECT_EQ(buddy.free_frames(), 0u);
+}
+
+TEST(Buddy, FreeMergesBuddies) {
+  BuddyAllocator buddy(1024);
+  const uint64_t a = buddy.Allocate(9);
+  ASSERT_NE(a, kInvalidFrame);
+  const uint64_t b = buddy.Allocate(9);
+  ASSERT_NE(b, kInvalidFrame);
+  EXPECT_EQ(buddy.FreeBlocksOfOrder(9), 0u);
+  EXPECT_EQ(buddy.FreeBlocksOfOrder(10), 0u);
+  buddy.Free(a, 512);
+  buddy.Free(b, 512);
+  buddy.CheckInvariants();
+  // 1024 contiguous frames must re-merge into one order-10 block.
+  EXPECT_EQ(buddy.FreeBlocksOfOrder(10), 1u);
+}
+
+TEST(Buddy, PartialFreeRemerges) {
+  BuddyAllocator buddy(2048);
+  const uint64_t block = buddy.Allocate(10);
+  ASSERT_NE(block, kInvalidFrame);
+  // Free it page by page in a shuffled order; merging must rebuild it.
+  std::vector<uint64_t> frames;
+  for (uint64_t i = 0; i < 1024; ++i) {
+    frames.push_back(block + i);
+  }
+  base::Rng rng(5);
+  rng.Shuffle(frames);
+  for (uint64_t f : frames) {
+    buddy.Free(f, 1);
+  }
+  buddy.CheckInvariants();
+  EXPECT_EQ(buddy.free_frames(), 2048u);
+  EXPECT_GE(buddy.FreeBlocksOfOrder(10), 1u);
+}
+
+TEST(Buddy, AllocateAtExactRange) {
+  BuddyAllocator buddy(4096);
+  EXPECT_TRUE(buddy.AllocateAt(1000, 100));
+  EXPECT_FALSE(buddy.IsRangeFree(1000, 100));
+  EXPECT_TRUE(buddy.IsRangeFree(0, 1000));
+  EXPECT_TRUE(buddy.IsRangeFree(1100, 100));
+  buddy.CheckInvariants();
+  buddy.Free(1000, 100);
+  EXPECT_EQ(buddy.free_frames(), 4096u);
+  buddy.CheckInvariants();
+}
+
+TEST(Buddy, AllocateAtFailsOnConflict) {
+  BuddyAllocator buddy(4096);
+  ASSERT_TRUE(buddy.AllocateAt(128, 64));
+  EXPECT_FALSE(buddy.AllocateAt(100, 64));  // overlaps [128,192)
+  EXPECT_FALSE(buddy.AllocateAt(191, 1));
+  EXPECT_TRUE(buddy.AllocateAt(192, 1));
+  buddy.CheckInvariants();
+}
+
+TEST(Buddy, AllocateAtOutOfRangeFails) {
+  BuddyAllocator buddy(256);
+  EXPECT_FALSE(buddy.AllocateAt(250, 10));
+  EXPECT_TRUE(buddy.AllocateAt(250, 6));
+}
+
+TEST(Buddy, AllocateAtUnalignedHugeSpan) {
+  BuddyAllocator buddy(4096);
+  // A huge-page-sized range at an arbitrary (non-block-aligned) offset.
+  EXPECT_TRUE(buddy.AllocateAt(700, kPagesPerHuge));
+  buddy.CheckInvariants();
+  EXPECT_EQ(buddy.allocated_frames(), kPagesPerHuge);
+}
+
+TEST(Buddy, FmfiZeroWhenUnfragmented) {
+  BuddyAllocator buddy(1 << 14);
+  EXPECT_DOUBLE_EQ(buddy.Fmfi(kHugeOrder), 0.0);
+}
+
+TEST(Buddy, FmfiOneWhenOnlySplinters) {
+  BuddyAllocator buddy(2048);
+  // Pin one frame in every huge-aligned span.
+  for (uint64_t f = 256; f < 2048; f += 512) {
+    ASSERT_TRUE(buddy.AllocateAt(f, 1));
+  }
+  EXPECT_DOUBLE_EQ(buddy.Fmfi(kHugeOrder), 1.0);
+  EXPECT_LT(buddy.Fmfi(0), 1e-9);  // all free memory usable at order 0
+}
+
+TEST(Buddy, FmfiFullMemoryIsOne) {
+  BuddyAllocator buddy(64);
+  ASSERT_TRUE(buddy.AllocateAt(0, 64));
+  EXPECT_DOUBLE_EQ(buddy.Fmfi(0), 1.0);
+}
+
+TEST(Buddy, LargestFreeOrder) {
+  BuddyAllocator buddy(2048);
+  EXPECT_EQ(buddy.LargestFreeOrder(), 10);
+  ASSERT_TRUE(buddy.AllocateAt(1024, 1));  // split the top block
+  EXPECT_EQ(buddy.LargestFreeOrder(), 10);  // [0,1024) still whole
+  ASSERT_TRUE(buddy.AllocateAt(0, 1));
+  EXPECT_LT(buddy.LargestFreeOrder(), 10);
+}
+
+TEST(Buddy, MutationEpochAdvances) {
+  BuddyAllocator buddy(256);
+  const uint64_t e0 = buddy.mutation_epoch();
+  const uint64_t f = buddy.Allocate(0);
+  EXPECT_GT(buddy.mutation_epoch(), e0);
+  const uint64_t e1 = buddy.mutation_epoch();
+  buddy.Free(f, 1);
+  EXPECT_GT(buddy.mutation_epoch(), e1);
+}
+
+TEST(Buddy, RandomizedSelectionStaysCorrect) {
+  BuddyAllocator buddy(1 << 13, /*selection_seed=*/99);
+  std::vector<uint64_t> got;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t f = buddy.Allocate(3);
+    ASSERT_NE(f, kInvalidFrame);
+    EXPECT_EQ(f % 8, 0u);
+    got.push_back(f);
+  }
+  buddy.CheckInvariants();
+  for (uint64_t f : got) {
+    buddy.Free(f, 8);
+  }
+  EXPECT_EQ(buddy.free_frames(), 1ull << 13);
+  buddy.CheckInvariants();
+}
+
+// Differential property test: random alloc/free/alloc-at sequences tracked
+// against a per-frame ownership map.  Frames must never be double-allocated
+// and totals must always balance.
+class BuddyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BuddyPropertyTest, RandomOpsPreserveInvariants) {
+  constexpr uint64_t kFrames = 1 << 12;
+  base::Rng rng(GetParam());
+  BuddyAllocator buddy(kFrames);
+  // Live allocations: first frame -> count.
+  std::map<uint64_t, uint64_t> live;
+  uint64_t live_frames = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.45) {
+      const int order = static_cast<int>(rng.NextBelow(kMaxOrder));
+      const uint64_t f = buddy.Allocate(order);
+      if (f != kInvalidFrame) {
+        const uint64_t count = 1ull << order;
+        // No overlap with any live allocation.
+        for (const auto& [lf, lc] : live) {
+          ASSERT_TRUE(f + count <= lf || lf + lc <= f)
+              << "overlap at step " << step;
+        }
+        live.emplace(f, count);
+        live_frames += count;
+      }
+    } else if (dice < 0.6) {
+      const uint64_t f = rng.NextBelow(kFrames);
+      const uint64_t count = 1 + rng.NextBelow(64);
+      if (buddy.AllocateAt(f, count)) {
+        for (const auto& [lf, lc] : live) {
+          ASSERT_TRUE(f + count <= lf || lf + lc <= f);
+        }
+        live.emplace(f, count);
+        live_frames += count;
+      }
+    } else if (!live.empty()) {
+      auto it = live.begin();
+      std::advance(it, rng.NextBelow(live.size()));
+      buddy.Free(it->first, it->second);
+      live_frames -= it->second;
+      live.erase(it);
+    }
+    ASSERT_EQ(buddy.free_frames() + live_frames, kFrames) << "step " << step;
+  }
+  buddy.CheckInvariants();
+  // Free everything; the allocator must return to a fully-merged state.
+  for (const auto& [f, c] : live) {
+    buddy.Free(f, c);
+  }
+  buddy.CheckInvariants();
+  EXPECT_EQ(buddy.free_frames(), kFrames);
+  EXPECT_EQ(buddy.LargestFreeOrder(), kMaxOrder - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+
+namespace {
+
+TEST(Buddy, BlocksAvailableCountsLargerBlocks) {
+  BuddyAllocator buddy(4096);  // pristine: 2x order-10 + ... depends on size
+  // 4096 frames = 2 order-10 + 0 others => 8 huge (order-9) blocks.
+  EXPECT_EQ(buddy.BlocksAvailable(9), 8u);
+  EXPECT_EQ(buddy.BlocksAvailable(10), 4u);
+  ASSERT_TRUE(buddy.AllocateAt(0, 512));
+  EXPECT_EQ(buddy.BlocksAvailable(9), 7u);
+  // Splintering a block below order 9 removes it from availability.
+  ASSERT_TRUE(buddy.AllocateAt(512 + 256, 1));
+  EXPECT_EQ(buddy.BlocksAvailable(9), 6u);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the Gemini contiguity list (next-fit over maximal free extents).
+#include "vmem/contiguity_list.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+#include "vmem/buddy_allocator.h"
+
+namespace {
+
+using base::kPagesPerHuge;
+using vmem::BuddyAllocator;
+using vmem::ContiguityList;
+using vmem::kInvalidFrame;
+
+TEST(ContiguityList, FreshMemoryIsOneExtent) {
+  BuddyAllocator buddy(4096);
+  ContiguityList list(&buddy);
+  list.Refresh();
+  ASSERT_EQ(list.extent_count(), 1u);
+  EXPECT_EQ(list.extents()[0].frame, 0u);
+  EXPECT_EQ(list.extents()[0].count, 4096u);
+}
+
+TEST(ContiguityList, PinSplitsExtents) {
+  BuddyAllocator buddy(4096);
+  ASSERT_TRUE(buddy.AllocateAt(2000, 1));
+  ContiguityList list(&buddy);
+  list.Refresh();
+  ASSERT_EQ(list.extent_count(), 2u);
+  EXPECT_EQ(list.extents()[0].count, 2000u);
+  EXPECT_EQ(list.extents()[1].frame, 2001u);
+  EXPECT_EQ(list.extents()[1].count, 2095u);
+}
+
+TEST(ContiguityList, FindFitBasic) {
+  BuddyAllocator buddy(4096);
+  ContiguityList list(&buddy);
+  list.Refresh();
+  const uint64_t f = list.FindFit(100, /*huge_aligned=*/false);
+  EXPECT_EQ(f, 0u);
+}
+
+TEST(ContiguityList, FindFitHugeAlignedRoundsUp) {
+  BuddyAllocator buddy(4096);
+  ASSERT_TRUE(buddy.AllocateAt(0, 10));  // extent starts at 10, unaligned
+  ContiguityList list(&buddy);
+  list.Refresh();
+  const uint64_t f = list.FindFit(kPagesPerHuge, /*huge_aligned=*/true);
+  EXPECT_EQ(f, kPagesPerHuge);  // 512, the first aligned frame >= 10
+}
+
+TEST(ContiguityList, FindFitFailsWhenNothingFits) {
+  BuddyAllocator buddy(1024);
+  // Pin the middle of every huge span.
+  ASSERT_TRUE(buddy.AllocateAt(256, 1));
+  ASSERT_TRUE(buddy.AllocateAt(768, 1));
+  ContiguityList list(&buddy);
+  list.Refresh();
+  EXPECT_EQ(list.FindFit(kPagesPerHuge, true), kInvalidFrame);
+  EXPECT_NE(list.FindFit(200, false), kInvalidFrame);
+}
+
+TEST(ContiguityList, NextFitAdvancesCursor) {
+  BuddyAllocator buddy(8192);
+  ContiguityList list(&buddy);
+  list.Refresh();
+  const uint64_t a = list.FindFit(512, true);
+  const uint64_t b = list.FindFit(512, true);
+  EXPECT_NE(a, kInvalidFrame);
+  EXPECT_NE(b, kInvalidFrame);
+  EXPECT_EQ(b, a + 512);  // resumed where the previous search left off
+}
+
+TEST(ContiguityList, NextFitWrapsAround) {
+  BuddyAllocator buddy(2048);
+  ContiguityList list(&buddy);
+  list.Refresh();
+  ASSERT_EQ(list.FindFit(1500, false), 0u);
+  // Cursor is at 1500; a 1000-frame request only fits before the cursor,
+  // so the search must wrap.
+  list.Refresh();
+  const uint64_t f = list.FindFit(1000, false);
+  EXPECT_EQ(f, 0u);
+}
+
+TEST(ContiguityList, LargestExtent) {
+  BuddyAllocator buddy(4096);
+  ASSERT_TRUE(buddy.AllocateAt(1000, 1));
+  ASSERT_TRUE(buddy.AllocateAt(1500, 1));
+  ContiguityList list(&buddy);
+  list.Refresh();
+  const auto largest = list.LargestExtent();
+  EXPECT_EQ(largest.frame, 1501u);
+  EXPECT_EQ(largest.count, 4096u - 1501);
+}
+
+TEST(ContiguityList, LargestExtentEmptyWhenFull) {
+  BuddyAllocator buddy(64);
+  ASSERT_TRUE(buddy.AllocateAt(0, 64));
+  ContiguityList list(&buddy);
+  list.Refresh();
+  EXPECT_EQ(list.LargestExtent().count, 0u);
+}
+
+TEST(ContiguityList, RefreshIsCachedUntilMutation) {
+  BuddyAllocator buddy(4096);
+  ContiguityList list(&buddy);
+  list.Refresh();
+  ASSERT_EQ(list.extent_count(), 1u);
+  // No mutation: refresh must not rebuild (observable via unchanged view
+  // even though we cannot probe internals — verify it stays correct).
+  list.Refresh();
+  EXPECT_EQ(list.extent_count(), 1u);
+  ASSERT_TRUE(buddy.AllocateAt(100, 1));
+  list.Refresh();
+  EXPECT_EQ(list.extent_count(), 2u);
+}
+
+TEST(ContiguityList, ExtentsMergeAcrossBuddyBlockBoundaries) {
+  BuddyAllocator buddy(8192);
+  // Allocate and free in a pattern that leaves adjacent blocks of
+  // different orders: the list must present them as one extent.
+  const uint64_t f = buddy.Allocate(0);
+  ContiguityList list(&buddy);
+  list.Refresh();
+  buddy.Free(f, 1);
+  list.Refresh();
+  ASSERT_EQ(list.extent_count(), 1u);
+  EXPECT_EQ(list.extents()[0].count, 8192u);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Tests for the EMA offset-descriptor store (spans, move-to-front search,
+// sub-VMA split and uncovered-window queries).
+#include "gemini/ema.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+
+namespace {
+
+using base::kPagesPerHuge;
+using gemini::Ema;
+using vmem::kInvalidFrame;
+
+TEST(Ema, MissWithoutSpans) {
+  Ema ema;
+  EXPECT_EQ(ema.TargetFor(1, 100), kInvalidFrame);
+  EXPECT_EQ(ema.stats().descriptor_misses, 1u);
+}
+
+TEST(Ema, TargetAppliesOffset) {
+  Ema ema;
+  // Pages [1000, 2000) map to frames [400, 1400): offset = 600.
+  ema.AddSpan(1, 1000, 1000, 600);
+  EXPECT_EQ(ema.TargetFor(1, 1000), 400u);
+  EXPECT_EQ(ema.TargetFor(1, 1500), 900u);
+  EXPECT_EQ(ema.TargetFor(1, 1999), 1399u);
+  EXPECT_EQ(ema.TargetFor(1, 2000), kInvalidFrame);
+  EXPECT_EQ(ema.TargetFor(1, 999), kInvalidFrame);
+}
+
+TEST(Ema, NegativeOffsetMapsUpward) {
+  Ema ema;
+  ema.AddSpan(2, 100, 50, -900);  // frames start at 1000
+  EXPECT_EQ(ema.TargetFor(2, 100), 1000u);
+  EXPECT_EQ(ema.TargetFor(2, 149), 1049u);
+}
+
+TEST(Ema, SpansArePerVma) {
+  Ema ema;
+  ema.AddSpan(1, 0, 10, 0);
+  EXPECT_EQ(ema.TargetFor(2, 5), kInvalidFrame);
+  EXPECT_EQ(ema.TargetFor(1, 5), 5u);
+}
+
+TEST(Ema, MultipleSpansSearched) {
+  Ema ema;
+  ema.AddSpan(1, 0, 100, 0);
+  ema.AddSpan(1, 1000, 100, 500);
+  ema.AddSpan(1, 5000, 100, -200);
+  EXPECT_EQ(ema.TargetFor(1, 50), 50u);
+  EXPECT_EQ(ema.TargetFor(1, 1050), 550u);
+  EXPECT_EQ(ema.TargetFor(1, 5050), 5250u);
+  EXPECT_EQ(ema.span_count(1), 3u);
+}
+
+TEST(Ema, MoveToFrontCountsHits) {
+  Ema ema;
+  ema.AddSpan(1, 0, 100, 0);
+  ema.AddSpan(1, 1000, 100, 0);
+  for (int i = 0; i < 10; ++i) {
+    ema.TargetFor(1, 1000 + i);
+  }
+  EXPECT_EQ(ema.stats().descriptor_hits, 10u);
+}
+
+TEST(Ema, OverlappingSpanAborts) {
+  Ema ema;
+  ema.AddSpan(1, 0, 100, 0);
+  EXPECT_DEATH(ema.AddSpan(1, 50, 100, 0), "overlapping");
+}
+
+TEST(Ema, AdjacentSpansAllowed) {
+  Ema ema;
+  ema.AddSpan(1, 0, 100, 0);
+  ema.AddSpan(1, 100, 100, 7);
+  EXPECT_EQ(ema.TargetFor(1, 99), 99u);
+  EXPECT_EQ(ema.TargetFor(1, 100), 93u);
+}
+
+TEST(Ema, SplitSpanCutsAtRegionBoundary) {
+  Ema ema;
+  // Span covering 4 huge regions starting at region boundary 0.
+  ema.AddSpan(1, 0, 4 * kPagesPerHuge, 0);
+  // Split at a page in the third region (index 2).
+  ema.SplitSpanAt(1, 2 * kPagesPerHuge + 17);
+  // Pages in regions 0-1 keep their targets; regions 2-3 are uncovered.
+  EXPECT_EQ(ema.TargetFor(1, 100), 100u);
+  EXPECT_EQ(ema.TargetFor(1, 2 * kPagesPerHuge + 17), kInvalidFrame);
+  EXPECT_EQ(ema.TargetFor(1, 3 * kPagesPerHuge), kInvalidFrame);
+  EXPECT_EQ(ema.stats().ranges_reassigned, 1u);
+}
+
+TEST(Ema, SplitAtFirstRegionErasesSpan) {
+  Ema ema;
+  ema.AddSpan(1, 0, kPagesPerHuge, 0);
+  ema.SplitSpanAt(1, 17);
+  EXPECT_EQ(ema.span_count(1), 0u);
+}
+
+TEST(Ema, SplitUnknownPageIsNoop) {
+  Ema ema;
+  ema.AddSpan(1, 0, 100, 0);
+  ema.SplitSpanAt(1, 5000);
+  EXPECT_EQ(ema.span_count(1), 1u);
+}
+
+TEST(Ema, UncoveredWindowBetweenSpans) {
+  Ema ema;
+  ema.AddSpan(1, 0, 512, 0);
+  ema.AddSpan(1, 2048, 512, 0);
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  ema.UncoveredWindow(1, 1000, 0, 10000, &lo, &hi);
+  EXPECT_EQ(lo, 512u);
+  EXPECT_EQ(hi, 2048u);
+}
+
+TEST(Ema, UncoveredWindowDefaultsToFallback) {
+  Ema ema;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  ema.UncoveredWindow(1, 50, 10, 100, &lo, &hi);
+  EXPECT_EQ(lo, 10u);
+  EXPECT_EQ(hi, 100u);
+}
+
+TEST(Ema, DropVmaRemovesAllSpans) {
+  Ema ema;
+  ema.AddSpan(1, 0, 100, 0);
+  ema.AddSpan(1, 200, 100, 0);
+  ema.AddSpan(2, 0, 100, 0);
+  ema.DropVma(1);
+  EXPECT_EQ(ema.span_count(1), 0u);
+  EXPECT_EQ(ema.TargetFor(1, 50), kInvalidFrame);
+  EXPECT_EQ(ema.TargetFor(2, 50), 50u);
+}
+
+}  // namespace

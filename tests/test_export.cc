@@ -1,0 +1,80 @@
+// Tests for the CSV/JSON result export.
+#include "metrics/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/driver.h"
+
+namespace {
+
+workload::RunResult SampleResult() {
+  workload::RunResult r;
+  r.workload = "demo";
+  r.throughput = 1.5;
+  r.mean_latency = 1000.0;
+  r.p99_latency = 2000.0;
+  r.tlb_misses = 42;
+  r.tlb_miss_rate = 0.25;
+  r.alignment.guest_huge = 7;
+  r.alignment.host_huge = 9;
+  r.alignment.well_aligned_rate = 0.875;
+  r.busy_cycles = 123456;
+  return r;
+}
+
+TEST(Export, CsvHasHeaderAndRow) {
+  const auto r = SampleResult();
+  const std::string csv =
+      metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(csv.find("workload,system,throughput"), std::string::npos);
+  EXPECT_NE(csv.find("Redis,Gemini,1.5,1000,2000,42,0.25,0.875,7,9,123456"),
+            std::string::npos);
+}
+
+TEST(Export, CsvEscapesCommasAndQuotes) {
+  const auto r = SampleResult();
+  const std::string csv = metrics::ToCsv(
+      {metrics::ResultRow{"a,b", "say \"hi\"", &r}});
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Export, JsonIsWellFormedEnough) {
+  const auto r = SampleResult();
+  const std::string json = metrics::ToJson(
+      {metrics::ResultRow{"Redis", "Gemini", &r},
+       metrics::ResultRow{"Redis", "THP", &r}});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"system\": \"Gemini\""), std::string::npos);
+  EXPECT_NE(json.find("\"well_aligned_rate\": 0.875"), std::string::npos);
+  // Exactly one separating comma between the two objects.
+  EXPECT_NE(json.find("},"), std::string::npos);
+}
+
+TEST(Export, JsonEscapesSpecialCharacters) {
+  const auto r = SampleResult();
+  const std::string json = metrics::ToJson(
+      {metrics::ResultRow{"quote\"backslash\\", "sys", &r}});
+  EXPECT_NE(json.find("quote\\\"backslash\\\\"), std::string::npos);
+}
+
+TEST(Export, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/export_test.csv";
+  metrics::WriteFile(path, "hello,world\n");
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "hello,world");
+  std::remove(path.c_str());
+}
+
+TEST(Export, EmptyRowsProduceHeaderOnly) {
+  const std::string csv = metrics::ToCsv({});
+  EXPECT_EQ(csv.find('\n'), csv.size() - 1);
+  EXPECT_EQ(metrics::ToJson({}), "[\n]\n");
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Tests for the FMFI-driven memory fragmenter.
+#include "vmem/fragmenter.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+#include "vmem/buddy_allocator.h"
+#include "vmem/frame_space.h"
+
+namespace {
+
+using base::kHugeOrder;
+
+TEST(Fragmenter, ReachesTarget) {
+  vmem::BuddyAllocator buddy(1 << 16);
+  vmem::FrameSpace frames(1 << 16);
+  vmem::Fragmenter fragmenter(&buddy, &frames, 7);
+  const double achieved = fragmenter.FragmentToTarget(0.85);
+  EXPECT_GE(achieved, 0.85);
+  buddy.CheckInvariants();
+}
+
+TEST(Fragmenter, ZeroTargetPinsNothing) {
+  vmem::BuddyAllocator buddy(1 << 14);
+  vmem::FrameSpace frames(1 << 14);
+  vmem::Fragmenter fragmenter(&buddy, &frames, 7);
+  EXPECT_DOUBLE_EQ(fragmenter.FragmentToTarget(0.0), 0.0);
+  EXPECT_EQ(fragmenter.pinned_frames(), 0u);
+}
+
+TEST(Fragmenter, PinnedFramesAreTagged) {
+  vmem::BuddyAllocator buddy(1 << 14);
+  vmem::FrameSpace frames(1 << 14);
+  vmem::Fragmenter fragmenter(&buddy, &frames, 7);
+  fragmenter.FragmentToTarget(0.5);
+  EXPECT_GT(fragmenter.pinned_frames(), 0u);
+  EXPECT_EQ(frames.CountUse(vmem::FrameUse::kPinned),
+            fragmenter.pinned_frames());
+}
+
+TEST(Fragmenter, ReleaseAllRestoresPristineState) {
+  vmem::BuddyAllocator buddy(1 << 14);
+  vmem::FrameSpace frames(1 << 14);
+  vmem::Fragmenter fragmenter(&buddy, &frames, 7);
+  fragmenter.FragmentToTarget(0.9);
+  EXPECT_GT(fragmenter.pinned_frames(), 0u);
+  fragmenter.ReleaseAll();
+  EXPECT_EQ(fragmenter.pinned_frames(), 0u);
+  EXPECT_EQ(buddy.free_frames(), 1ull << 14);
+  EXPECT_LT(buddy.Fmfi(kHugeOrder), 0.01);
+  buddy.CheckInvariants();
+}
+
+TEST(Fragmenter, RespectsPinBudget) {
+  vmem::BuddyAllocator buddy(1 << 14);
+  vmem::FrameSpace frames(1 << 14);
+  vmem::Fragmenter fragmenter(&buddy, &frames, 7);
+  fragmenter.FragmentToTarget(1.0, /*max_fraction=*/0.01);
+  EXPECT_LE(fragmenter.pinned_frames(), (1ull << 14) / 100 + 1);
+}
+
+TEST(Fragmenter, DeterministicPerSeed) {
+  vmem::BuddyAllocator b1(1 << 14), b2(1 << 14);
+  vmem::FrameSpace f1(1 << 14), f2(1 << 14);
+  vmem::Fragmenter fr1(&b1, &f1, 42), fr2(&b2, &f2, 42);
+  EXPECT_DOUBLE_EQ(fr1.FragmentToTarget(0.7), fr2.FragmentToTarget(0.7));
+  EXPECT_EQ(fr1.pinned_frames(), fr2.pinned_frames());
+}
+
+TEST(Fragmenter, LeavesBasePagesAllocatable) {
+  vmem::BuddyAllocator buddy(1 << 14);
+  vmem::FrameSpace frames(1 << 14);
+  vmem::Fragmenter fragmenter(&buddy, &frames, 7);
+  fragmenter.FragmentToTarget(0.9);
+  // Fragmentation is about contiguity, not capacity: plenty of single
+  // frames must remain.
+  EXPECT_GT(buddy.free_frames(), (1ull << 14) / 2);
+  EXPECT_NE(buddy.Allocate(0), vmem::kInvalidFrame);
+}
+
+class FragmenterTargetTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FragmenterTargetTest, HitsEveryTarget) {
+  const double target = GetParam();
+  vmem::BuddyAllocator buddy(1 << 15);
+  vmem::FrameSpace frames(1 << 15);
+  vmem::Fragmenter fragmenter(&buddy, &frames, 13);
+  const double achieved = fragmenter.FragmentToTarget(target);
+  EXPECT_GE(achieved, target);
+  buddy.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, FragmenterTargetTest,
+                         ::testing::Values(0.2, 0.5, 0.7, 0.85, 0.95));
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Randomized end-to-end consistency test: drives a full machine (random
+// system choice, random VMA map/unmap/access/daemon interleavings, random
+// fragmentation and pressure) and verifies global invariants after every
+// burst:
+//
+//  * frame conservation at both layers (buddy + mapped + held == total is
+//    checked inside BuddyAllocator::CheckInvariants),
+//  * page tables structurally sound,
+//  * every guest-mapped page translates to a host frame within bounds or
+//    faults cleanly,
+//  * the alignment audit agrees with a brute-force recomputation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "gemini/gemini_policy.h"
+#include "harness/systems.h"
+#include "metrics/alignment_audit.h"
+#include "os/machine.h"
+
+namespace {
+
+using base::kHugeOrder;
+using base::kPagesPerHuge;
+
+struct LiveVma {
+  int32_t id;
+  uint64_t start;
+  uint64_t pages;
+};
+
+class MachineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MachineFuzzTest, RandomOpsKeepInvariants) {
+  base::Rng rng(GetParam());
+  osim::MachineConfig config;
+  config.host_frames = 65536;
+  config.daemon_period = 20000;
+  config.seed = GetParam();
+  osim::Machine machine(config);
+
+  const auto systems = harness::AllSystems();
+  const harness::SystemKind kind =
+      systems[rng.NextBelow(systems.size())];
+  osim::VirtualMachine& vm =
+      harness::AddSystemVm(machine, kind, 16384);
+  if (rng.NextBool(0.5)) {
+    machine.FragmentGuestMemory(0, 0.5 + rng.NextDouble() * 0.4);
+  }
+  if (rng.NextBool(0.5)) {
+    machine.FragmentHostMemory(0.5 + rng.NextDouble() * 0.4);
+  }
+
+  std::vector<LiveVma> vmas;
+  for (int burst = 0; burst < 60; ++burst) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.25 && vmas.size() < 12) {
+      const uint64_t pages = 1 + rng.NextBelow(3 * kPagesPerHuge);
+      osim::Vma& vma = vm.guest().aspace().MapAnonymous(pages);
+      vmas.push_back(LiveVma{vma.id, vma.start_page, vma.pages});
+    } else if (dice < 0.35 && !vmas.empty()) {
+      const size_t victim = rng.NextBelow(vmas.size());
+      vm.guest().UnmapVma(vmas[victim].id);
+      vmas.erase(vmas.begin() + static_cast<long>(victim));
+    } else if (dice < 0.9 && !vmas.empty()) {
+      // A burst of accesses into a random VMA.
+      const LiveVma& vma = vmas[rng.NextBelow(vmas.size())];
+      for (int i = 0; i < 200; ++i) {
+        const uint64_t vpn = vma.start + rng.NextBelow(vma.pages);
+        const auto r = machine.Access(0, vpn, 50);
+        ASSERT_GT(r.cycles, 0u);
+      }
+    } else {
+      machine.AdvanceTime(config.daemon_period * (1 + rng.NextBelow(5)));
+    }
+
+    // --- Invariants ------------------------------------------------------
+    vm.guest().buddy().CheckInvariants();
+    machine.host().buddy().CheckInvariants();
+    vm.guest().table().CheckInvariants();
+    vm.host_slice().table().CheckInvariants();
+
+    // Every guest translation must compose into a valid in-bounds host
+    // frame (or be absent).
+    for (const LiveVma& vma : vmas) {
+      for (int probe = 0; probe < 8; ++probe) {
+        const uint64_t vpn = vma.start + rng.NextBelow(vma.pages);
+        const auto g = vm.guest().table().Lookup(vpn);
+        if (!g.has_value()) {
+          continue;
+        }
+        ASSERT_LT(g->frame, vm.guest().buddy().frame_count());
+        const auto h = vm.host_slice().table().Lookup(g->frame);
+        if (h.has_value()) {
+          ASSERT_LT(h->frame, machine.host().buddy().frame_count());
+        }
+      }
+    }
+
+    // Alignment audit equals brute force.
+    const auto report = metrics::AuditAlignment(vm.guest().table(),
+                                                vm.host_slice().table());
+    uint64_t brute_pairs = 0;
+    vm.guest().table().ForEachHuge([&](uint64_t, uint64_t gfn) {
+      brute_pairs +=
+          vm.host_slice().table().IsHugeMapped(gfn >> kHugeOrder) ? 1 : 0;
+    });
+    ASSERT_EQ(report.aligned_pairs, brute_pairs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineFuzzTest,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005,
+                                           6006, 7007, 8008));
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Tests for IntervalSet, including a randomized property sweep against a
+// bitmap reference implementation.
+#include "base/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.h"
+
+namespace {
+
+using base::IntervalSet;
+
+TEST(IntervalSet, EmptyByDefault) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.TotalLength(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(IntervalSet, InsertAndQuery) {
+  IntervalSet s;
+  s.Insert(10, 20);
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(19));
+  EXPECT_FALSE(s.Contains(20));
+  EXPECT_FALSE(s.Contains(9));
+  EXPECT_EQ(s.TotalLength(), 10u);
+}
+
+TEST(IntervalSet, EmptyInsertIsNoop) {
+  IntervalSet s;
+  s.Insert(5, 5);
+  s.Insert(7, 3);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, AdjacentInsertsCoalesce) {
+  IntervalSet s;
+  s.Insert(0, 10);
+  s.Insert(10, 20);
+  EXPECT_EQ(s.IntervalCount(), 1u);
+  EXPECT_TRUE(s.ContainsRange(0, 20));
+}
+
+TEST(IntervalSet, OverlappingInsertsCoalesce) {
+  IntervalSet s;
+  s.Insert(0, 15);
+  s.Insert(10, 30);
+  s.Insert(5, 12);
+  EXPECT_EQ(s.IntervalCount(), 1u);
+  EXPECT_EQ(s.TotalLength(), 30u);
+}
+
+TEST(IntervalSet, InsertBridgesGap) {
+  IntervalSet s;
+  s.Insert(0, 10);
+  s.Insert(20, 30);
+  EXPECT_EQ(s.IntervalCount(), 2u);
+  s.Insert(10, 20);
+  EXPECT_EQ(s.IntervalCount(), 1u);
+}
+
+TEST(IntervalSet, RemoveSplits) {
+  IntervalSet s;
+  s.Insert(0, 30);
+  s.Remove(10, 20);
+  EXPECT_EQ(s.IntervalCount(), 2u);
+  EXPECT_TRUE(s.ContainsRange(0, 10));
+  EXPECT_TRUE(s.ContainsRange(20, 30));
+  EXPECT_FALSE(s.Intersects(10, 20));
+}
+
+TEST(IntervalSet, RemoveEdges) {
+  IntervalSet s;
+  s.Insert(0, 30);
+  s.Remove(0, 5);
+  s.Remove(25, 30);
+  EXPECT_EQ(s.IntervalCount(), 1u);
+  EXPECT_EQ(s.TotalLength(), 20u);
+}
+
+TEST(IntervalSet, RemoveSpanningMultiple) {
+  IntervalSet s;
+  s.Insert(0, 10);
+  s.Insert(20, 30);
+  s.Insert(40, 50);
+  s.Remove(5, 45);
+  EXPECT_EQ(s.TotalLength(), 10u);
+  EXPECT_TRUE(s.ContainsRange(0, 5));
+  EXPECT_TRUE(s.ContainsRange(45, 50));
+}
+
+TEST(IntervalSet, IntersectsPartialOverlap) {
+  IntervalSet s;
+  s.Insert(10, 20);
+  EXPECT_TRUE(s.Intersects(5, 11));
+  EXPECT_TRUE(s.Intersects(19, 25));
+  EXPECT_FALSE(s.Intersects(0, 10));
+  EXPECT_FALSE(s.Intersects(20, 30));
+}
+
+TEST(IntervalSet, ForEachInVisitsClampedPieces) {
+  IntervalSet s;
+  s.Insert(0, 10);
+  s.Insert(20, 30);
+  std::vector<std::pair<uint64_t, uint64_t>> seen;
+  s.ForEachIn(5, 25, [&](uint64_t lo, uint64_t hi) {
+    seen.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<uint64_t, uint64_t>{5, 10}));
+  EXPECT_EQ(seen[1], (std::pair<uint64_t, uint64_t>{20, 25}));
+}
+
+// Randomized differential test against a bitmap.
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetPropertyTest, MatchesBitmapReference) {
+  constexpr uint64_t kUniverse = 512;
+  base::Rng rng(GetParam());
+  IntervalSet s;
+  std::vector<bool> ref(kUniverse, false);
+  for (int step = 0; step < 500; ++step) {
+    const uint64_t lo = rng.NextBelow(kUniverse);
+    const uint64_t hi = lo + rng.NextBelow(kUniverse - lo + 1);
+    if (rng.NextBool(0.5)) {
+      s.Insert(lo, hi);
+      for (uint64_t i = lo; i < hi; ++i) {
+        ref[i] = true;
+      }
+    } else {
+      s.Remove(lo, hi);
+      for (uint64_t i = lo; i < hi; ++i) {
+        ref[i] = false;
+      }
+    }
+    // Spot-check membership and the aggregate length.
+    uint64_t ref_len = 0;
+    for (uint64_t i = 0; i < kUniverse; ++i) {
+      ref_len += ref[i] ? 1 : 0;
+    }
+    ASSERT_EQ(s.TotalLength(), ref_len) << "step " << step;
+    for (int probe = 0; probe < 16; ++probe) {
+      const uint64_t p = rng.NextBelow(kUniverse);
+      ASSERT_EQ(s.Contains(p), ref[p]) << "point " << p << " step " << step;
+    }
+    // Intervals must be disjoint and non-adjacent (coalesced).
+    const auto spans = s.ToVector();
+    for (size_t i = 1; i < spans.size(); ++i) {
+      ASSERT_GT(spans[i].lo, spans[i - 1].hi);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Tests for the guest/host kernel mechanics via a small Machine.
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+#include "os/machine.h"
+#include "policy/base_only.h"
+#include "policy/misalignment.h"
+#include "policy/thp.h"
+
+namespace {
+
+using base::kHugeOrder;
+using base::kPagesPerHuge;
+
+osim::MachineConfig SmallConfig() {
+  osim::MachineConfig config;
+  config.host_frames = 16384;
+  config.seed = 3;
+  return config;
+}
+
+TEST(GuestKernel, DemandFaultMapsBasePage) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(8192, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(100);
+  const base::Cycles cost = vm.guest().HandleFault(vma.start_page);
+  EXPECT_GT(cost, 0u);
+  EXPECT_TRUE(vm.guest().table().Lookup(vma.start_page).has_value());
+  EXPECT_EQ(vm.guest().stats().base_faults, 1u);
+  EXPECT_EQ(vm.guest().buddy().allocated_frames(), 1u);
+}
+
+TEST(GuestKernel, ThpEagerHugeFaultMapsWholeRegion) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(8192, std::make_unique<policy::ThpPolicy>(),
+                           std::make_unique<policy::AlwaysHugePolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(2 * kPagesPerHuge);
+  vm.guest().HandleFault(vma.start_page + 5);
+  EXPECT_TRUE(vm.guest().table().IsHugeMapped(vma.start_page >> kHugeOrder));
+  EXPECT_EQ(vm.guest().stats().huge_faults, 1u);
+  // Zeroing the huge page touched every GFN: the EPT must be populated.
+  const auto g = vm.guest().table().Lookup(vma.start_page);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(vm.host_slice().table().Lookup(g->frame).has_value());
+}
+
+TEST(GuestKernel, HugeFaultRespectsVmaCoverage) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(8192, std::make_unique<policy::ThpPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  // VMA smaller than one region: eager huge must not trigger.
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(kPagesPerHuge / 2);
+  vm.guest().HandleFault(vma.start_page);
+  EXPECT_EQ(vm.guest().stats().huge_faults, 0u);
+  EXPECT_EQ(vm.guest().stats().base_faults, 1u);
+}
+
+TEST(GuestKernel, UnmapVmaFreesGuestFramesButKeepsEpt) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(8192, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(64);
+  const int32_t vma_id = vma.id;
+  const uint64_t start = vma.start_page;
+  for (uint64_t p = 0; p < 64; ++p) {
+    machine.Access(0, start + p);  // fault in both layers
+  }
+  const uint64_t guest_allocated = vm.guest().buddy().allocated_frames();
+  const uint64_t ept_mapped = vm.host_slice().table().mapped_pages();
+  EXPECT_EQ(guest_allocated, 64u);
+  EXPECT_EQ(ept_mapped, 64u);
+  vm.guest().UnmapVma(vma_id);
+  // Guest frames return to the guest buddy; the host keeps the VM's memory
+  // (paper §6.3's reused-VM premise).
+  EXPECT_EQ(vm.guest().buddy().allocated_frames(), 0u);
+  EXPECT_EQ(vm.host_slice().table().mapped_pages(), ept_mapped);
+  EXPECT_EQ(vm.guest().table().mapped_pages(), 0u);
+}
+
+TEST(GuestKernel, FaultPlacementHonorsTargetHint) {
+  // CA-paging-style targeting: BaseOnly has no hints, so craft one through
+  // a THP policy derivative is overkill — instead verify via AllocateAt
+  // that the mechanism the hint uses composes (covered in policy tests);
+  // here check that faulting twice maps distinct frames.
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(8192, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(10);
+  vm.guest().HandleFault(vma.start_page);
+  vm.guest().HandleFault(vma.start_page + 1);
+  const auto a = vm.guest().table().Lookup(vma.start_page);
+  const auto b = vm.guest().table().Lookup(vma.start_page + 1);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_NE(a->frame, b->frame);
+}
+
+TEST(HostKernel, EptFaultBacksPage) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(8192, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  const base::Cycles cost = vm.host_slice().HandleFault(42);
+  EXPECT_GT(cost, 0u);
+  EXPECT_TRUE(vm.host_slice().table().Lookup(42).has_value());
+}
+
+TEST(HostKernel, AlwaysHugeBacksWholeRegion) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(8192, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::AlwaysHugePolicy>());
+  vm.host_slice().HandleFault(42);
+  EXPECT_TRUE(vm.host_slice().table().IsHugeMapped(0));
+  EXPECT_EQ(vm.host_slice().stats().huge_faults, 1u);
+}
+
+TEST(Kernels, PromoteWithMigrationMovesFramesAndFreesOld) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(8192, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(kPagesPerHuge);
+  for (uint64_t p = 0; p < kPagesPerHuge; ++p) {
+    vm.guest().HandleFault(vma.start_page + p);
+  }
+  const uint64_t region = vma.start_page >> kHugeOrder;
+  const uint64_t before = vm.guest().buddy().allocated_frames();
+  ASSERT_TRUE(vm.guest().PromoteWithMigration(region, vmem::kInvalidFrame));
+  EXPECT_TRUE(vm.guest().table().IsHugeMapped(region));
+  // Old 512 frames freed, new 512 allocated: net unchanged.
+  EXPECT_EQ(vm.guest().buddy().allocated_frames(), before);
+  EXPECT_EQ(vm.guest().stats().promotions_migrated, 1u);
+  EXPECT_EQ(vm.guest().stats().pages_copied, kPagesPerHuge);
+  EXPECT_GT(vm.guest().stats().overhead_cycles, 0u);
+}
+
+TEST(Kernels, PromoteWithMigrationFailsWithoutBlocks) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(2048, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  // Consume all guest memory except scattered singles.
+  auto& buddy = vm.guest().buddy();
+  for (uint64_t f = 0; f < 2048; f += 2) {
+    ASSERT_TRUE(buddy.AllocateAt(f, 1));
+  }
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(kPagesPerHuge);
+  for (uint64_t p = 0; p < 4; ++p) {
+    vm.guest().HandleFault(vma.start_page + p);
+  }
+  EXPECT_FALSE(vm.guest().PromoteWithMigration(
+      vma.start_page >> kHugeOrder, vmem::kInvalidFrame));
+}
+
+TEST(Kernels, DemoteSplitsHugeMapping) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(8192, std::make_unique<policy::ThpPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(kPagesPerHuge);
+  vm.guest().HandleFault(vma.start_page);
+  const uint64_t region = vma.start_page >> kHugeOrder;
+  ASSERT_TRUE(vm.guest().table().IsHugeMapped(region));
+  vm.guest().Demote(region);
+  EXPECT_FALSE(vm.guest().table().IsHugeMapped(region));
+  EXPECT_EQ(vm.guest().table().PresentBasePages(region), kPagesPerHuge);
+  EXPECT_EQ(vm.guest().stats().demotions, 1u);
+}
+
+TEST(Kernels, FrameTagsTrackOwnership) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(4096, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(8);
+  for (uint64_t p = 0; p < 8; ++p) {
+    machine.Access(0, vma.start_page + p);
+  }
+  EXPECT_EQ(vm.guest().gpa_frames().CountUse(vmem::FrameUse::kAnonymous), 8u);
+  EXPECT_EQ(machine.host().frames().CountUse(vmem::FrameUse::kAnonymous), 8u);
+}
+
+}  // namespace

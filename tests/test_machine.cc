@@ -1,0 +1,156 @@
+// Tests for the Machine: clock, daemon scheduling, hooks, multi-VM.
+#include "os/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+#include "policy/base_only.h"
+#include "policy/policy.h"
+
+namespace {
+
+using base::kPagesPerHuge;
+
+osim::MachineConfig SmallConfig() {
+  osim::MachineConfig config;
+  config.host_frames = 32768;
+  config.daemon_period = 1000;
+  config.seed = 5;
+  return config;
+}
+
+// Policy that counts daemon ticks.
+class TickCountingPolicy final : public policy::HugePagePolicy {
+ public:
+  explicit TickCountingPolicy(int* counter) : counter_(counter) {}
+  std::string_view name() const override { return "tick-counter"; }
+  policy::FaultDecision OnFault(policy::KernelOps&,
+                                const policy::FaultInfo&) override {
+    return {};
+  }
+  void OnDaemonTick(policy::KernelOps&) override { ++*counter_; }
+
+ private:
+  int* counter_;
+};
+
+class CountingTask final : public osim::PeriodicTask {
+ public:
+  explicit CountingTask(int* counter) : counter_(counter) {}
+  void Run(base::Cycles) override { ++*counter_; }
+
+ private:
+  int* counter_;
+};
+
+TEST(Machine, AccessAdvancesClock) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(4096, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  vm.guest().aspace().MapAnonymous(16);
+  const base::Cycles t0 = machine.Now();
+  machine.Access(0, vm.guest().aspace().Vmas()[0]->start_page, 100);
+  EXPECT_GT(machine.Now(), t0 + 100);
+}
+
+TEST(Machine, DaemonsTickOncePerPeriod) {
+  osim::Machine machine(SmallConfig());
+  int guest_ticks = 0;
+  int host_ticks = 0;
+  machine.AddVm(4096, std::make_unique<TickCountingPolicy>(&guest_ticks),
+                std::make_unique<TickCountingPolicy>(&host_ticks));
+  machine.AdvanceTime(10 * SmallConfig().daemon_period);
+  EXPECT_EQ(guest_ticks, 10);
+  EXPECT_EQ(host_ticks, 10);
+}
+
+TEST(Machine, PeriodicTasksRunAtTheirOwnPeriod) {
+  osim::Machine machine(SmallConfig());
+  machine.AddVm(4096, std::make_unique<policy::BaseOnlyPolicy>(),
+                std::make_unique<policy::BaseOnlyPolicy>());
+  int runs = 0;
+  machine.AddTask(std::make_unique<CountingTask>(&runs), 500);
+  machine.AdvanceTime(2600);
+  EXPECT_EQ(runs, 5);  // t=500,1000,...,2500
+}
+
+TEST(Machine, EnsureHostBackingFaultsMissingPages) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(4096, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  EXPECT_FALSE(vm.host_slice().table().Lookup(100).has_value());
+  const base::Cycles cost = machine.EnsureHostBacking(0, 100, 16);
+  EXPECT_GT(cost, 0u);
+  for (uint64_t g = 100; g < 116; ++g) {
+    EXPECT_TRUE(vm.host_slice().table().Lookup(g).has_value());
+  }
+  // Idempotent: second call faults nothing.
+  EXPECT_EQ(machine.EnsureHostBacking(0, 100, 16), 0u);
+}
+
+TEST(Machine, ShootdownGuestRangeDropsTlbEntries) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(4096, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(4);
+  machine.Access(0, vma.start_page);
+  ASSERT_TRUE(machine.Access(0, vma.start_page).tlb_hit);
+  machine.ShootdownGuestRange(0, vma.start_page, 4);
+  EXPECT_FALSE(machine.Access(0, vma.start_page).tlb_hit);
+}
+
+TEST(Machine, VmTlbMissesExposed) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(4096, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(4);
+  EXPECT_EQ(machine.VmTlbMisses(0), 0u);
+  machine.Access(0, vma.start_page);
+  EXPECT_GT(machine.VmTlbMisses(0), 0u);
+}
+
+TEST(Machine, TwoVmsShareHostMemoryButNotGuestMemory) {
+  osim::Machine machine(SmallConfig());
+  auto& vm0 = machine.AddVm(4096, std::make_unique<policy::BaseOnlyPolicy>(),
+                            std::make_unique<policy::BaseOnlyPolicy>());
+  auto& vm1 = machine.AddVm(4096, std::make_unique<policy::BaseOnlyPolicy>(),
+                            std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& a = vm0.guest().aspace().MapAnonymous(8);
+  osim::Vma& b = vm1.guest().aspace().MapAnonymous(8);
+  for (uint64_t p = 0; p < 8; ++p) {
+    machine.Access(0, a.start_page + p);
+    machine.Access(1, b.start_page + p);
+  }
+  EXPECT_EQ(vm0.guest().buddy().allocated_frames(), 8u);
+  EXPECT_EQ(vm1.guest().buddy().allocated_frames(), 8u);
+  EXPECT_EQ(machine.host().buddy().allocated_frames(), 16u);
+  // The two VMs' host frames must not overlap.
+  const auto g0 = vm0.guest().table().Lookup(a.start_page);
+  const auto g1 = vm1.guest().table().Lookup(b.start_page);
+  const auto h0 = vm0.host_slice().table().Lookup(g0->frame);
+  const auto h1 = vm1.host_slice().table().Lookup(g1->frame);
+  EXPECT_NE(h0->frame, h1->frame);
+}
+
+TEST(Machine, FragmentHelpersReachTargets) {
+  osim::Machine machine(SmallConfig());
+  machine.AddVm(8192, std::make_unique<policy::BaseOnlyPolicy>(),
+                std::make_unique<policy::BaseOnlyPolicy>());
+  EXPECT_GE(machine.FragmentHostMemory(0.7), 0.7);
+  EXPECT_GE(machine.FragmentGuestMemory(0, 0.7), 0.7);
+}
+
+TEST(Machine, AccessResolvesDoubleFault) {
+  osim::Machine machine(SmallConfig());
+  auto& vm = machine.AddVm(4096, std::make_unique<policy::BaseOnlyPolicy>(),
+                           std::make_unique<policy::BaseOnlyPolicy>());
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(4);
+  const auto r = machine.Access(0, vma.start_page);
+  EXPECT_EQ(r.faults_taken, 2u);  // guest fault then EPT fault
+  EXPECT_FALSE(r.tlb_hit);
+  const auto r2 = machine.Access(0, vma.start_page);
+  EXPECT_EQ(r2.faults_taken, 0u);
+  EXPECT_TRUE(r2.tlb_hit);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Tests for the misaligned huge page scanner (MHPS) classification.
+#include "gemini/mhps.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+#include "gemini/channel.h"
+#include "mmu/page_table.h"
+#include "vmem/buddy_allocator.h"
+
+namespace {
+
+using base::kHugeOrder;
+using base::kPagesPerHuge;
+using gemini::GeminiChannel;
+using gemini::Mhps;
+
+class MhpsTest : public ::testing::Test {
+ protected:
+  MhpsTest() : guest_buddy_(16 * kPagesPerHuge) {}
+
+  mmu::PageTable guest_;
+  mmu::PageTable ept_;
+  vmem::BuddyAllocator guest_buddy_;
+  GeminiChannel channel_;
+  Mhps mhps_;
+
+  void Scan(base::Cycles now = 100) {
+    mhps_.ScanVm(guest_, ept_, guest_buddy_, now, channel_);
+  }
+};
+
+TEST_F(MhpsTest, EmptyTablesProduceEmptyLists) {
+  Scan();
+  EXPECT_TRUE(channel_.host_huge_misaligned.empty());
+  EXPECT_TRUE(channel_.guest_huge_misaligned.empty());
+  EXPECT_EQ(channel_.well_aligned_count, 0u);
+}
+
+TEST_F(MhpsTest, WellAlignedPairIsNotMisaligned) {
+  guest_.MapHuge(0, 2 * kPagesPerHuge);  // GVA region 0 -> GPA region 2
+  ept_.MapHuge(2, 8 * kPagesPerHuge);    // GPA region 2 -> host block
+  Scan();
+  EXPECT_TRUE(channel_.host_huge_misaligned.empty());
+  EXPECT_TRUE(channel_.guest_huge_misaligned.empty());
+  EXPECT_EQ(channel_.well_aligned_count, 1u);
+  EXPECT_TRUE(channel_.GuestHugeTarget(2));
+}
+
+TEST_F(MhpsTest, HostHugeWithoutGuestHugeIsMisaligned) {
+  ept_.MapHuge(3, 0);
+  Scan();
+  ASSERT_EQ(channel_.host_huge_misaligned.size(), 1u);
+  EXPECT_TRUE(channel_.host_huge_misaligned.count(3));
+  EXPECT_TRUE(channel_.guest_huge_misaligned.empty());
+}
+
+TEST_F(MhpsTest, HostHugeType1WhenGuestRangeFree) {
+  ept_.MapHuge(3, 0);
+  // GPA region 3's frames are entirely free in the guest buddy.
+  Scan();
+  EXPECT_FALSE(channel_.host_huge_misaligned.at(3).type2);
+}
+
+TEST_F(MhpsTest, HostHugeType2WhenGuestAllocatedPages) {
+  ept_.MapHuge(3, 0);
+  // The guest has allocated one frame of GPA region 3 (to some base page).
+  ASSERT_TRUE(guest_buddy_.AllocateAt(3 * kPagesPerHuge + 17, 1));
+  Scan();
+  EXPECT_TRUE(channel_.host_huge_misaligned.at(3).type2);
+}
+
+TEST_F(MhpsTest, GuestHugeWithoutHostHugeIsMisaligned) {
+  guest_.MapHuge(5, 4 * kPagesPerHuge);  // target GPA region 4
+  Scan();
+  ASSERT_EQ(channel_.guest_huge_misaligned.size(), 1u);
+  EXPECT_TRUE(channel_.guest_huge_misaligned.count(4));
+}
+
+TEST_F(MhpsTest, GuestHugeType1WhenEptEmpty) {
+  guest_.MapHuge(5, 4 * kPagesPerHuge);
+  Scan();
+  EXPECT_FALSE(channel_.guest_huge_misaligned.at(4).type2);
+}
+
+TEST_F(MhpsTest, GuestHugeType2WhenEptHasBasePages) {
+  guest_.MapHuge(5, 4 * kPagesPerHuge);
+  ept_.MapBase(4 * kPagesPerHuge + 9, 77);
+  Scan();
+  EXPECT_TRUE(channel_.guest_huge_misaligned.at(4).type2);
+}
+
+TEST_F(MhpsTest, DiscoveryTimePreservedAcrossScans) {
+  ept_.MapHuge(3, 0);
+  Scan(100);
+  const base::Cycles discovered =
+      channel_.host_huge_misaligned.at(3).discovered;
+  EXPECT_EQ(discovered, 100u);
+  Scan(500);
+  EXPECT_EQ(channel_.host_huge_misaligned.at(3).discovered, 100u);
+}
+
+TEST_F(MhpsTest, FixedMisalignmentLeavesTheList) {
+  ept_.MapHuge(3, 0);
+  Scan();
+  EXPECT_EQ(channel_.host_huge_misaligned.size(), 1u);
+  // The guest forms the matching huge page.
+  guest_.MapHuge(0, 3 * kPagesPerHuge);
+  Scan();
+  EXPECT_TRUE(channel_.host_huge_misaligned.empty());
+  EXPECT_EQ(channel_.well_aligned_count, 1u);
+}
+
+TEST_F(MhpsTest, MixedLayoutClassifiedCorrectly) {
+  // Region 0: well aligned.  Region 1: host-huge only (type 1).
+  // Region 2: guest-huge only with EPT base pages (type 2).
+  guest_.MapHuge(0, 0);
+  ept_.MapHuge(0, 0);
+  ept_.MapHuge(1, 2 * kPagesPerHuge);
+  guest_.MapHuge(7, 2 * kPagesPerHuge * 0 + 2 * kPagesPerHuge);  // -> region 2
+  // Adjust: guest region 7 targets GPA region 2.
+  // (MapHuge(7, 2*kPagesPerHuge) maps GVA region 7 -> GPA block at frame
+  //  2*kPagesPerHuge, i.e. GPA region 2.)
+  ept_.MapBase(2 * kPagesPerHuge + 1, 55);
+  Scan();
+  EXPECT_EQ(channel_.well_aligned_count, 1u);
+  ASSERT_TRUE(channel_.host_huge_misaligned.count(1));
+  EXPECT_FALSE(channel_.host_huge_misaligned.at(1).type2);
+  ASSERT_TRUE(channel_.guest_huge_misaligned.count(2));
+  EXPECT_TRUE(channel_.guest_huge_misaligned.at(2).type2);
+}
+
+TEST_F(MhpsTest, ChannelHostHugeQuery) {
+  channel_.ept = &ept_;
+  ept_.MapHuge(6, 0);
+  EXPECT_TRUE(channel_.HostHuge(6));
+  EXPECT_FALSE(channel_.HostHuge(5));
+}
+
+TEST_F(MhpsTest, StatsAccumulate) {
+  guest_.MapHuge(0, 0);
+  ept_.MapHuge(0, 0);
+  ept_.MapHuge(1, 2 * kPagesPerHuge);
+  Scan();
+  EXPECT_EQ(mhps_.stats().scans, 1u);
+  EXPECT_EQ(mhps_.stats().guest_huge_seen, 1u);
+  EXPECT_EQ(mhps_.stats().host_huge_seen, 2u);
+  EXPECT_EQ(mhps_.stats().well_aligned, 1u);
+  EXPECT_EQ(mhps_.stats().host_huge_misaligned, 1u);
+}
+
+}  // namespace

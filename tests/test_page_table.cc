@@ -1,0 +1,295 @@
+// Tests for the two-granularity page table.
+#include "mmu/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "base/rng.h"
+#include "base/types.h"
+
+namespace {
+
+using base::kHugeOrder;
+using base::kPagesPerHuge;
+using base::PageSize;
+using mmu::PageTable;
+
+TEST(PageTable, EmptyLookupFails) {
+  PageTable table;
+  EXPECT_FALSE(table.Lookup(0).has_value());
+  EXPECT_FALSE(table.Lookup(123456).has_value());
+  EXPECT_EQ(table.mapped_pages(), 0u);
+}
+
+TEST(PageTable, MapBaseAndLookup) {
+  PageTable table;
+  table.MapBase(1000, 77);
+  const auto t = table.Lookup(1000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->frame, 77u);
+  EXPECT_EQ(t->size, PageSize::kBase);
+  EXPECT_EQ(table.mapped_base_pages(), 1u);
+  EXPECT_FALSE(table.Lookup(1001).has_value());
+  table.CheckInvariants();
+}
+
+TEST(PageTable, MapHugeAndLookupEveryOffset) {
+  PageTable table;
+  table.MapHuge(4, 1024);  // region 4 = vpns [2048, 2560)
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    const auto t = table.Lookup((4ull << kHugeOrder) + slot);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->frame, 1024u + slot);
+    EXPECT_EQ(t->size, PageSize::kHuge);
+  }
+  EXPECT_EQ(table.huge_leaves(), 1u);
+  EXPECT_EQ(table.mapped_pages(), kPagesPerHuge);
+  table.CheckInvariants();
+}
+
+TEST(PageTable, UnmapBaseReturnsFrame) {
+  PageTable table;
+  table.MapBase(5, 500);
+  EXPECT_EQ(table.UnmapBase(5), 500u);
+  EXPECT_FALSE(table.Lookup(5).has_value());
+  EXPECT_EQ(table.mapped_pages(), 0u);
+  table.CheckInvariants();
+}
+
+TEST(PageTable, UnmapHugeReturnsFirstFrame) {
+  PageTable table;
+  table.MapHuge(2, 2048);
+  EXPECT_EQ(table.UnmapHuge(2), 2048u);
+  EXPECT_FALSE(table.IsHugeMapped(2));
+  EXPECT_EQ(table.huge_leaves(), 0u);
+}
+
+TEST(PageTable, CanPromoteInPlaceRequiresAll) {
+  PageTable table;
+  const uint64_t region = 3;
+  const uint64_t base_vpn = region << kHugeOrder;
+  // Contiguous, aligned, in order — but one page missing.
+  for (uint32_t slot = 0; slot < kPagesPerHuge - 1; ++slot) {
+    table.MapBase(base_vpn + slot, 512 + slot);
+  }
+  EXPECT_FALSE(table.CanPromoteInPlace(region));
+  table.MapBase(base_vpn + kPagesPerHuge - 1, 512 + kPagesPerHuge - 1);
+  EXPECT_TRUE(table.CanPromoteInPlace(region));
+}
+
+TEST(PageTable, CanPromoteInPlaceRejectsUnalignedAnchor) {
+  PageTable table;
+  const uint64_t base_vpn = 7ull << kHugeOrder;
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    table.MapBase(base_vpn + slot, 100 + slot);  // anchor 100 not aligned
+  }
+  EXPECT_FALSE(table.CanPromoteInPlace(7));
+}
+
+TEST(PageTable, CanPromoteInPlaceRejectsScattered) {
+  PageTable table;
+  const uint64_t base_vpn = 9ull << kHugeOrder;
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    table.MapBase(base_vpn + slot, 1024 + slot * 2);  // strided
+  }
+  EXPECT_FALSE(table.CanPromoteInPlace(9));
+}
+
+TEST(PageTable, PromoteInPlaceKeepsTranslations) {
+  PageTable table;
+  const uint64_t region = 5;
+  const uint64_t base_vpn = region << kHugeOrder;
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    table.MapBase(base_vpn + slot, 1536 + slot);
+  }
+  table.PromoteInPlace(region);
+  EXPECT_TRUE(table.IsHugeMapped(region));
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    const auto t = table.Lookup(base_vpn + slot);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->frame, 1536u + slot);  // identical frames, new granularity
+    EXPECT_EQ(t->size, PageSize::kHuge);
+  }
+  table.CheckInvariants();
+}
+
+TEST(PageTable, PromoteWithMigrationRemapsAndReportsOldFrames) {
+  PageTable table;
+  const uint64_t region = 6;
+  const uint64_t base_vpn = region << kHugeOrder;
+  // Scattered sparse population.
+  std::set<uint64_t> old_frames;
+  for (uint32_t slot = 0; slot < 100; ++slot) {
+    table.MapBase(base_vpn + slot, 9000 + slot * 3);
+    old_frames.insert(9000 + slot * 3);
+  }
+  const auto old_pages = table.PromoteWithMigration(region, 4096);
+  EXPECT_EQ(old_pages.size(), 100u);
+  for (const auto& [slot, frame] : old_pages) {
+    EXPECT_LT(slot, 100u);
+    EXPECT_TRUE(old_frames.count(frame));
+  }
+  EXPECT_TRUE(table.IsHugeMapped(region));
+  EXPECT_EQ(table.Lookup(base_vpn)->frame, 4096u);
+  EXPECT_EQ(table.Lookup(base_vpn + 511)->frame, 4096u + 511);
+  table.CheckInvariants();
+}
+
+TEST(PageTable, DemoteSplitsOntoSameFrames) {
+  PageTable table;
+  table.MapHuge(8, 512);
+  table.Demote(8);
+  EXPECT_FALSE(table.IsHugeMapped(8));
+  EXPECT_EQ(table.PresentBasePages(8), kPagesPerHuge);
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    const auto t = table.Lookup((8ull << kHugeOrder) + slot);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->frame, 512u + slot);
+    EXPECT_EQ(t->size, PageSize::kBase);
+  }
+  table.CheckInvariants();
+}
+
+TEST(PageTable, PromoteDemoteRoundTrip) {
+  PageTable table;
+  const uint64_t region = 11;
+  const uint64_t base_vpn = region << kHugeOrder;
+  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    table.MapBase(base_vpn + slot, 2048 + slot);
+  }
+  table.PromoteInPlace(region);
+  table.Demote(region);
+  EXPECT_TRUE(table.CanPromoteInPlace(region));  // round trip
+  EXPECT_EQ(table.mapped_base_pages(), kPagesPerHuge);
+  table.CheckInvariants();
+}
+
+TEST(PageTable, AccessCountersBumpAndDecay) {
+  PageTable table;
+  table.MapBase(0, 1);
+  table.BumpAccess(0);
+  table.BumpAccess(0);
+  table.BumpAccess(0);
+  EXPECT_EQ(table.AccessCount(0), 3u);
+  table.DecayAccessCounts();
+  EXPECT_EQ(table.AccessCount(0), 1u);
+  table.DecayAccessCounts();
+  EXPECT_EQ(table.AccessCount(0), 0u);
+  EXPECT_EQ(table.AccessCount(99), 0u);
+}
+
+TEST(PageTable, ForEachHugeVisitsAll) {
+  PageTable table;
+  table.MapHuge(1, 512);
+  table.MapHuge(4, 2048);
+  table.MapBase(0, 3);
+  std::set<uint64_t> regions;
+  table.ForEachHuge([&](uint64_t region, uint64_t frame) {
+    regions.insert(region);
+    EXPECT_EQ(frame % kPagesPerHuge, 0u);
+  });
+  EXPECT_EQ(regions, (std::set<uint64_t>{1, 4}));
+}
+
+TEST(PageTable, ForEachBaseRegionReportsCounts) {
+  PageTable table;
+  table.MapBase(0, 1);
+  table.MapBase(1, 2);
+  table.MapBase(513, 5);
+  std::map<uint64_t, uint32_t> seen;
+  table.ForEachBaseRegion(
+      [&](uint64_t region, uint32_t present) { seen[region] = present; });
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 2u);
+  EXPECT_EQ(seen[1], 1u);
+}
+
+TEST(PageTable, BaseFrameQueries) {
+  PageTable table;
+  table.MapBase(5, 42);
+  EXPECT_EQ(table.BaseFrame(0, 5).value(), 42u);
+  EXPECT_FALSE(table.BaseFrame(0, 6).has_value());
+  EXPECT_FALSE(table.BaseFrame(1, 5).has_value());
+}
+
+// Property: random map/unmap/promote/demote sequences keep Lookup
+// consistent with a reference map.
+class PageTablePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageTablePropertyTest, MatchesReference) {
+  base::Rng rng(GetParam());
+  PageTable table;
+  constexpr uint64_t kRegions = 8;
+  // Reference: per-vpn frame (base granularity), or region-level huge.
+  std::map<uint64_t, uint64_t> ref_base;  // vpn -> frame
+  std::map<uint64_t, uint64_t> ref_huge;  // region -> first frame
+  uint64_t next_block = 0;                // allocator of fresh aligned blocks
+
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t region = rng.NextBelow(kRegions);
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {  // map a base page if possible
+      const uint64_t vpn = (region << kHugeOrder) + rng.NextBelow(kPagesPerHuge);
+      if (ref_huge.count(region) == 0 && ref_base.count(vpn) == 0) {
+        const uint64_t frame = 1000000 + step;
+        table.MapBase(vpn, frame);
+        ref_base[vpn] = frame;
+      }
+    } else if (dice < 0.55) {  // map huge if region empty
+      bool region_used = ref_huge.count(region) != 0;
+      for (const auto& [vpn, f] : ref_base) {
+        if (vpn >> kHugeOrder == region) {
+          region_used = true;
+        }
+      }
+      if (!region_used) {
+        const uint64_t frame = (++next_block) * kPagesPerHuge;
+        table.MapHuge(region, frame);
+        ref_huge[region] = frame;
+      }
+    } else if (dice < 0.7) {  // unmap a random base page of the region
+      for (auto it = ref_base.begin(); it != ref_base.end(); ++it) {
+        if (it->first >> kHugeOrder == region) {
+          EXPECT_EQ(table.UnmapBase(it->first), it->second);
+          ref_base.erase(it);
+          break;
+        }
+      }
+    } else if (dice < 0.8 && ref_huge.count(region)) {  // demote
+      table.Demote(region);
+      const uint64_t frame = ref_huge[region];
+      ref_huge.erase(region);
+      for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+        ref_base[(region << kHugeOrder) + slot] = frame + slot;
+      }
+    } else if (ref_huge.count(region)) {  // unmap huge
+      EXPECT_EQ(table.UnmapHuge(region), ref_huge[region]);
+      ref_huge.erase(region);
+    }
+
+    // Verify random probes.
+    for (int probe = 0; probe < 8; ++probe) {
+      const uint64_t vpn =
+          (rng.NextBelow(kRegions) << kHugeOrder) + rng.NextBelow(kPagesPerHuge);
+      const auto got = table.Lookup(vpn);
+      const uint64_t r = vpn >> kHugeOrder;
+      if (ref_huge.count(r)) {
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(got->frame, ref_huge[r] + (vpn & (kPagesPerHuge - 1)));
+      } else if (ref_base.count(vpn)) {
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(got->frame, ref_base[vpn]);
+      } else {
+        ASSERT_FALSE(got.has_value());
+      }
+    }
+    table.CheckInvariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTablePropertyTest,
+                         ::testing::Values(3, 14, 159, 2653));
+
+}  // namespace

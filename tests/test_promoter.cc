@@ -1,0 +1,215 @@
+// Tests for the misaligned huge page promoter (MHPP): priority ordering,
+// huge preallocation, and the host-side passes.
+#include "gemini/promoter.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+#include "gemini/channel.h"
+#include "os/machine.h"
+#include "policy/base_only.h"
+
+namespace {
+
+using base::kHugeOrder;
+using base::kPagesPerHuge;
+using gemini::GeminiChannel;
+using gemini::Promoter;
+using gemini::PromoterOptions;
+
+osim::MachineConfig SmallConfig() {
+  osim::MachineConfig config;
+  config.host_frames = 32768;
+  // Daemons are driven manually in these tests.
+  config.daemon_period = 1ull << 60;
+  config.seed = 4;
+  return config;
+}
+
+class PromoterTest : public ::testing::Test {
+ protected:
+  PromoterTest() : machine_(SmallConfig()) {
+    vm_ = &machine_.AddVm(16384, std::make_unique<policy::BaseOnlyPolicy>(),
+                          std::make_unique<policy::BaseOnlyPolicy>());
+    channel_.guest_table = &vm_->guest().table();
+    channel_.ept = &vm_->host_slice().table();
+  }
+
+  // Creates a VMA whose pages sit contiguously at a huge-aligned anchor
+  // (as EMA would have placed them), with `present` of 512 pages mapped.
+  uint64_t MakeAnchoredRegion(uint32_t present) {
+    auto& guest = vm_->guest();
+    osim::Vma& vma = guest.aspace().MapAnonymous(kPagesPerHuge);
+    const uint64_t anchor = 8 * kPagesPerHuge + next_block_ * kPagesPerHuge;
+    ++next_block_;
+    EXPECT_TRUE(guest.buddy().AllocateAt(anchor, present));
+    for (uint32_t slot = 0; slot < present; ++slot) {
+      guest.table().MapBase(vma.start_page + slot, anchor + slot);
+      guest.gpa_frames().SetUse(anchor + slot, 1, 0,
+                                vmem::FrameUse::kAnonymous);
+    }
+    return vma.start_page >> kHugeOrder;
+  }
+
+  osim::Machine machine_;
+  osim::VirtualMachine* vm_ = nullptr;
+  GeminiChannel channel_;
+  uint64_t next_block_ = 0;
+};
+
+TEST_F(PromoterTest, InPlacePromotionOfCompleteRegion) {
+  Promoter promoter;
+  const uint64_t region = MakeAnchoredRegion(512);
+  promoter.RunGuestTick(vm_->guest(), channel_);
+  EXPECT_TRUE(vm_->guest().table().IsHugeMapped(region));
+  EXPECT_EQ(promoter.stats().in_place, 1u);
+}
+
+TEST_F(PromoterTest, PreallocationFillsAlmostCompleteRegion) {
+  Promoter promoter;
+  // 300 >= the 256 preallocation bar; guest FMFI is ~0 (unfragmented).
+  const uint64_t region = MakeAnchoredRegion(300);
+  promoter.RunGuestTick(vm_->guest(), channel_);
+  EXPECT_TRUE(vm_->guest().table().IsHugeMapped(region));
+  EXPECT_EQ(promoter.stats().preallocated, 1u);
+}
+
+TEST_F(PromoterTest, PreallocationGateRespectsMinPresent) {
+  PromoterOptions options;
+  options.normal_min_present = 460;
+  Promoter promoter(options);
+  const uint64_t region = MakeAnchoredRegion(100);  // below both bars
+  promoter.RunGuestTick(vm_->guest(), channel_);
+  EXPECT_FALSE(vm_->guest().table().IsHugeMapped(region));
+  EXPECT_EQ(promoter.stats().preallocated, 0u);
+}
+
+TEST_F(PromoterTest, PreallocationGateRespectsFmfi) {
+  PromoterOptions options;
+  options.prealloc_max_fmfi = 0.5;
+  options.normal_min_present = 511;  // keep the migration path out of it
+  Promoter promoter(options);
+  const uint64_t region = MakeAnchoredRegion(300);
+  // Fragment the guest badly: the preallocation gate must close.  Pin one
+  // frame per huge stride of the free space.
+  auto& buddy = vm_->guest().buddy();
+  for (uint64_t f = 0; f < buddy.frame_count(); f += kPagesPerHuge) {
+    if (buddy.IsFrameFree(f + 11)) {
+      ASSERT_TRUE(buddy.AllocateAt(f + 11, 1));
+    }
+  }
+  ASSERT_GT(vm_->guest().Fmfi(), 0.5);
+  promoter.RunGuestTick(vm_->guest(), channel_);
+  EXPECT_EQ(promoter.stats().preallocated, 0u);
+  EXPECT_FALSE(vm_->guest().table().IsHugeMapped(region));
+}
+
+TEST_F(PromoterTest, PriorityRegionsPromotedBeforeNormalOnes) {
+  PromoterOptions options;
+  options.promotions_per_tick = 1;
+  options.normal_min_present = 100;
+  options.prealloc_min_present = 513;  // disable preallocation
+  Promoter promoter(options);
+  // Two regions whose base pages sit at *unaligned* anchors in disjoint
+  // guest-physical regions (not in-place promotable), A placed below B so
+  // an unprioritized address-order pass would pick A first.
+  auto& guest = vm_->guest();
+  osim::Vma& vma_a = guest.aspace().MapAnonymous(kPagesPerHuge);
+  osim::Vma& vma_b = guest.aspace().MapAnonymous(kPagesPerHuge);
+  const uint64_t anchor_a = 2 * kPagesPerHuge + 7;   // GPA region 2
+  const uint64_t anchor_b = 20 * kPagesPerHuge + 7;  // GPA region 20
+  ASSERT_TRUE(guest.buddy().AllocateAt(anchor_a, 200));
+  ASSERT_TRUE(guest.buddy().AllocateAt(anchor_b, 200));
+  for (uint64_t p = 0; p < 200; ++p) {
+    guest.table().MapBase(vma_a.start_page + p, anchor_a + p);
+    guest.table().MapBase(vma_b.start_page + p, anchor_b + p);
+  }
+  // B's backing region is under a misaligned host huge page.
+  channel_.host_huge_misaligned[20] = gemini::MisalignedRegion{};
+  promoter.RunGuestTick(guest, channel_);
+  // With budget 1, the priority region must be the one promoted.
+  EXPECT_TRUE(guest.table().IsHugeMapped(vma_b.start_page >> kHugeOrder));
+  EXPECT_FALSE(guest.table().IsHugeMapped(vma_a.start_page >> kHugeOrder));
+  EXPECT_EQ(promoter.stats().priority_migrations, 1u);
+}
+
+TEST_F(PromoterTest, HostTickBacksType1GuestHugeDirectly) {
+  Promoter promoter;
+  // Guest huge page over GPA region 5, EPT empty there: type-1.
+  vm_->guest().table().MapHuge(20, 5 * kPagesPerHuge);
+  ASSERT_TRUE(vm_->guest().buddy().AllocateAt(5 * kPagesPerHuge,
+                                              kPagesPerHuge));
+  channel_.guest_huge_misaligned[5] = gemini::MisalignedRegion{};
+  promoter.RunHostTick(vm_->host_slice(), channel_);
+  EXPECT_TRUE(vm_->host_slice().table().IsHugeMapped(5));
+  EXPECT_EQ(promoter.stats().priority_migrations, 1u);
+}
+
+TEST_F(PromoterTest, HostTickMigratesType2GuestHuge) {
+  Promoter promoter;
+  vm_->guest().table().MapHuge(20, 5 * kPagesPerHuge);
+  // EPT has scattered base backing for part of region 5: type-2.
+  for (uint64_t g = 0; g < 64; ++g) {
+    vm_->host_slice().HandleFault(5 * kPagesPerHuge + g * 3);
+  }
+  gemini::MisalignedRegion m;
+  m.type2 = true;
+  channel_.guest_huge_misaligned[5] = m;
+  promoter.RunHostTick(vm_->host_slice(), channel_);
+  EXPECT_TRUE(vm_->host_slice().table().IsHugeMapped(5));
+}
+
+TEST_F(PromoterTest, HostOrdinarySweepPromotesInPlaceEligibleRegions) {
+  Promoter promoter;
+  // Two in-place-promotable EPT regions: both get promoted (the ordinary
+  // pass runs after the priority pass — "first ... before other regions",
+  // not exclusively), at zero block cost because they are in-place.
+  auto& host = vm_->host_slice();
+  for (uint64_t region : {3ull, 4ull}) {
+    const uint64_t anchor = (10 + region) * kPagesPerHuge;
+    ASSERT_TRUE(machine_.host().buddy().AllocateAt(anchor, kPagesPerHuge));
+    for (uint64_t slot = 0; slot < kPagesPerHuge; ++slot) {
+      host.table().MapBase(region * kPagesPerHuge + slot, anchor + slot);
+    }
+  }
+  channel_.guest_huge_targets[3] = 99;  // region 3 is a guest-huge target
+  promoter.RunHostTick(host, channel_);
+  EXPECT_TRUE(host.table().IsHugeMapped(3));
+  EXPECT_TRUE(host.table().IsHugeMapped(4));
+  EXPECT_EQ(promoter.stats().in_place, 2u);
+}
+
+TEST_F(PromoterTest, HostOrdinaryMigrationNeedsDensityAndHeat) {
+  Promoter promoter;
+  auto& host = vm_->host_slice();
+  // A dense but unaligned (not in-place-promotable) EPT region: skew the
+  // allocator by one frame so the backing anchor is odd.
+  ASSERT_TRUE(machine_.host().buddy().AllocateAt(0, 1));
+  for (uint64_t slot = 0; slot < kPagesPerHuge; ++slot) {
+    host.HandleFault(6 * kPagesPerHuge + slot);
+  }
+  ASSERT_FALSE(host.table().CanPromoteInPlace(6));
+  // ...that is cold: the ordinary migration pass must skip it.
+  promoter.RunHostTick(host, channel_);
+  EXPECT_FALSE(host.table().IsHugeMapped(6));
+  // Once hot, it qualifies.
+  host.table().BumpAccess(6);
+  promoter.RunHostTick(host, channel_);
+  EXPECT_TRUE(host.table().IsHugeMapped(6));
+  EXPECT_EQ(promoter.stats().normal_migrations, 1u);
+}
+
+TEST_F(PromoterTest, BudgetLimitsWorkPerTick) {
+  PromoterOptions options;
+  options.promotions_per_tick = 2;
+  Promoter promoter(options);
+  for (int i = 0; i < 5; ++i) {
+    MakeAnchoredRegion(512);
+  }
+  promoter.RunGuestTick(vm_->guest(), channel_);
+  EXPECT_EQ(vm_->guest().table().huge_leaves(), 2u);
+  promoter.RunGuestTick(vm_->guest(), channel_);
+  EXPECT_EQ(vm_->guest().table().huge_leaves(), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the deterministic RNG and the zipfian sampler.
+#include "base/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  base::Rng a(42);
+  base::Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  base::Rng a(1);
+  base::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  base::Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  base::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(Rng, NextRangeWithinBounds) {
+  base::Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t v = rng.NextRange(100, 200);
+    EXPECT_GE(v, 100u);
+    EXPECT_LT(v, 200u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  base::Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  base::Rng rng(17);
+  int trues = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) {
+      ++trues;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(trues) / n, 0.3, 0.01);
+}
+
+TEST(Rng, UniformityChiSquaredSanity) {
+  base::Rng rng(23);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBelow(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 dof; p=0.001 critical value ~ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Rng, ShufflePermutes) {
+  base::Rng rng(29);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  base::Rng rng(31);
+  base::ZipfSampler zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 1000, 250);
+  }
+}
+
+TEST(Zipf, SamplesWithinDomain) {
+  base::Rng rng(37);
+  base::ZipfSampler zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 1000u);
+  }
+}
+
+TEST(Zipf, SkewConcentratesMassOnHead) {
+  base::Rng rng(41);
+  base::ZipfSampler zipf(10000, 0.99);
+  int head = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 100) {  // top 1 % of ranks
+      ++head;
+    }
+  }
+  // Under theta=0.99 the top 1 % of ranks draw far more than 1 % of mass.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(Zipf, HigherThetaMoreSkewed) {
+  base::Rng rng1(43);
+  base::Rng rng2(43);
+  base::ZipfSampler mild(10000, 0.5);
+  base::ZipfSampler steep(10000, 0.95);
+  int mild_head = 0;
+  int steep_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_head += mild.Sample(rng1) < 100 ? 1 : 0;
+    steep_head += steep.Sample(rng2) < 100 ? 1 : 0;
+  }
+  EXPECT_GT(steep_head, mild_head);
+}
+
+// Property sweep: every (n, theta) combination stays in-domain and the rank
+// frequencies are monotonically non-increasing in expectation.
+class ZipfParamTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(ZipfParamTest, RankZeroIsModalAndInDomain) {
+  const auto [n, theta] = GetParam();
+  base::Rng rng(47);
+  base::ZipfSampler zipf(n, theta);
+  std::vector<uint64_t> counts(std::min<uint64_t>(n, 64), 0);
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t rank = zipf.Sample(rng);
+    ASSERT_LT(rank, n);
+    if (rank < counts.size()) {
+      ++counts[rank];
+    }
+  }
+  if (theta > 0.3 && n >= 16) {
+    uint64_t max_count = 0;
+    for (uint64_t c : counts) {
+      max_count = std::max(max_count, c);
+    }
+    EXPECT_EQ(counts[0], max_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domains, ZipfParamTest,
+    ::testing::Combine(::testing::Values(1ull, 2ull, 16ull, 1024ull, 65536ull),
+                       ::testing::Values(0.0, 0.5, 0.8, 0.99)));
+
+}  // namespace

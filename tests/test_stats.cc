@@ -1,0 +1,96 @@
+// Tests for the streaming statistics helpers.
+#include "base/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace {
+
+TEST(RunningStat, Empty) {
+  base::RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  base::RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  base::RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, NegativeValues) {
+  base::RunningStat s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(LatencyRecorder, ExactMeanRegardlessOfReservoir) {
+  base::LatencyRecorder rec(16);  // tiny reservoir
+  double sum = 0;
+  for (int i = 1; i <= 1000; ++i) {
+    rec.Record(i);
+    sum += i;
+  }
+  EXPECT_EQ(rec.count(), 1000u);
+  EXPECT_DOUBLE_EQ(rec.Mean(), sum / 1000.0);
+}
+
+TEST(LatencyRecorder, PercentilesOnSmallExactSet) {
+  base::LatencyRecorder rec(1024);
+  for (int i = 1; i <= 100; ++i) {
+    rec.Record(i);
+  }
+  EXPECT_NEAR(rec.Percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(rec.Percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(rec.Percentile(0.5), 50.5, 1.0);
+  EXPECT_NEAR(rec.Percentile(0.99), 99.0, 1.5);
+}
+
+TEST(LatencyRecorder, ReservoirApproximatesTail) {
+  base::LatencyRecorder rec(4096, 3);
+  // 99 % of samples at 10, 1 % at 1000.
+  for (int i = 0; i < 100000; ++i) {
+    rec.Record(i % 100 == 0 ? 1000.0 : 10.0);
+  }
+  EXPECT_NEAR(rec.Mean(), 0.99 * 10 + 0.01 * 1000, 0.5);
+  EXPECT_NEAR(rec.Percentile(0.5), 10.0, 1e-9);
+  // p99.5 must see the spike.
+  EXPECT_GT(rec.Percentile(0.995), 500.0);
+}
+
+TEST(LatencyRecorder, EmptyPercentileIsZero) {
+  base::LatencyRecorder rec;
+  EXPECT_EQ(rec.Percentile(0.99), 0.0);
+  EXPECT_EQ(rec.Mean(), 0.0);
+}
+
+TEST(LatencyRecorder, RecordAfterPercentileQueryStillCorrect) {
+  base::LatencyRecorder rec(1024);
+  rec.Record(1.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(1.0), 1.0);
+  rec.Record(2.0);
+  EXPECT_DOUBLE_EQ(rec.Percentile(1.0), 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Tests for VMAs and the guest address space.
+#include "os/vma.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+
+namespace {
+
+using base::kPagesPerHuge;
+using osim::AddressSpace;
+using osim::Vma;
+
+TEST(AddressSpace, VmasAreHugeAligned) {
+  AddressSpace aspace;
+  for (int i = 0; i < 10; ++i) {
+    const Vma& vma = aspace.MapAnonymous(100 + i * 37);
+    EXPECT_EQ(vma.start_page % kPagesPerHuge, 0u);
+  }
+}
+
+TEST(AddressSpace, VmasDoNotOverlapAndHaveGuardGaps) {
+  AddressSpace aspace;
+  const Vma& a = aspace.MapAnonymous(1000);
+  const Vma& b = aspace.MapAnonymous(1000);
+  EXPECT_GE(b.start_page, a.end_page() + kPagesPerHuge);
+}
+
+TEST(AddressSpace, FindByAddress) {
+  AddressSpace aspace;
+  const Vma& a = aspace.MapAnonymous(100);
+  const Vma& b = aspace.MapAnonymous(200);
+  EXPECT_EQ(aspace.Find(a.start_page)->id, a.id);
+  EXPECT_EQ(aspace.Find(a.start_page + 99)->id, a.id);
+  EXPECT_EQ(aspace.Find(a.start_page + 100), nullptr);  // past the end
+  EXPECT_EQ(aspace.Find(b.start_page + 150)->id, b.id);
+  EXPECT_EQ(aspace.Find(0), nullptr);
+}
+
+TEST(AddressSpace, FindById) {
+  AddressSpace aspace;
+  const Vma& a = aspace.MapAnonymous(10);
+  EXPECT_EQ(aspace.FindById(a.id)->start_page, a.start_page);
+  EXPECT_EQ(aspace.FindById(12345), nullptr);
+}
+
+TEST(AddressSpace, RemoveDropsVma) {
+  AddressSpace aspace;
+  const Vma& a = aspace.MapAnonymous(10);
+  const uint64_t start = a.start_page;
+  const int32_t id = a.id;
+  aspace.Remove(id);
+  EXPECT_EQ(aspace.Find(start), nullptr);
+  EXPECT_EQ(aspace.vma_count(), 0u);
+}
+
+TEST(AddressSpace, VmasEnumeratesInAddressOrder) {
+  AddressSpace aspace;
+  aspace.MapAnonymous(10);
+  aspace.MapAnonymous(10);
+  aspace.MapAnonymous(10);
+  const auto vmas = aspace.Vmas();
+  ASSERT_EQ(vmas.size(), 3u);
+  EXPECT_LT(vmas[0]->start_page, vmas[1]->start_page);
+  EXPECT_LT(vmas[1]->start_page, vmas[2]->start_page);
+}
+
+TEST(Vma, ContainsAndCoversRegion) {
+  Vma vma;
+  vma.start_page = 2 * kPagesPerHuge;
+  vma.pages = 3 * kPagesPerHuge;
+  EXPECT_TRUE(vma.Contains(vma.start_page));
+  EXPECT_FALSE(vma.Contains(vma.start_page - 1));
+  EXPECT_TRUE(vma.CoversRegion(2));
+  EXPECT_TRUE(vma.CoversRegion(4));
+  EXPECT_FALSE(vma.CoversRegion(5));
+  EXPECT_FALSE(vma.CoversRegion(1));
+}
+
+TEST(Vma, SmallVmaCoversNoRegion) {
+  Vma vma;
+  vma.start_page = kPagesPerHuge;
+  vma.pages = kPagesPerHuge - 1;
+  EXPECT_FALSE(vma.CoversRegion(1));
+}
+
+}  // namespace

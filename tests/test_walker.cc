@@ -1,0 +1,162 @@
+// Tests for the page-walk cache and the 1D/2D walk cost model.
+#include "mmu/nested_walker.h"
+#include "mmu/page_walk_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "base/types.h"
+
+namespace {
+
+using base::PageSize;
+using mmu::NestedWalker;
+using mmu::PageWalkCache;
+using mmu::PrefixCache;
+using mmu::WalkerConfig;
+using mmu::WalkResult;
+
+TEST(PrefixCache, MissThenHit) {
+  PrefixCache cache(4);
+  EXPECT_FALSE(cache.Lookup(1));
+  cache.Insert(1);
+  EXPECT_TRUE(cache.Lookup(1));
+}
+
+TEST(PrefixCache, LruEviction) {
+  PrefixCache cache(2);
+  cache.Insert(1);
+  cache.Insert(2);
+  EXPECT_TRUE(cache.Lookup(1));  // 2 becomes LRU
+  cache.Insert(3);
+  EXPECT_TRUE(cache.Lookup(1));
+  EXPECT_FALSE(cache.Lookup(2));
+  EXPECT_TRUE(cache.Lookup(3));
+}
+
+TEST(PrefixCache, FlushEmpties) {
+  PrefixCache cache(4);
+  cache.Insert(1);
+  cache.Flush();
+  EXPECT_FALSE(cache.Lookup(1));
+}
+
+TEST(PageWalkCache, ColdBaseWalkIsFourRefs) {
+  PageWalkCache pwc({});
+  const auto cost = pwc.Walk(0, PageSize::kBase);
+  EXPECT_EQ(cost.memory_refs, 4u);
+  EXPECT_EQ(cost.cached_refs, 0u);
+}
+
+TEST(PageWalkCache, ColdHugeWalkIsThreeRefs) {
+  PageWalkCache pwc({});
+  const auto cost = pwc.Walk(0, PageSize::kHuge);
+  EXPECT_EQ(cost.memory_refs, 3u);
+}
+
+TEST(PageWalkCache, WarmUpperLevelsAreCached) {
+  PageWalkCache pwc({});
+  pwc.Walk(0, PageSize::kBase);
+  // Second walk in the same 1 GiB range: PML4 + PDPT hit, PD/PT still paid.
+  const auto cost = pwc.Walk(1, PageSize::kBase);
+  EXPECT_EQ(cost.cached_refs, 2u);
+  EXPECT_EQ(cost.memory_refs, 2u);
+  const auto huge_cost = pwc.Walk(2, PageSize::kHuge);
+  EXPECT_EQ(huge_cost.memory_refs, 1u);  // only the PD leaf
+}
+
+TEST(PageWalkCache, DistantAddressMissesUpperLevels) {
+  PageWalkCache pwc({});
+  pwc.Walk(0, PageSize::kBase);
+  const auto cost = pwc.Walk(1ull << 40, PageSize::kBase);  // far away
+  EXPECT_EQ(cost.memory_refs, 4u);
+}
+
+WalkerConfig Config() {
+  WalkerConfig c;
+  c.cycles_per_memory_ref = 50;
+  c.cycles_per_cached_ref = 2;
+  return c;
+}
+
+TEST(NestedWalker, NativeWalkCosts) {
+  NestedWalker walker(Config());
+  const WalkResult cold = walker.NativeWalk(0, PageSize::kBase);
+  EXPECT_EQ(cold.memory_refs, 4u);
+  EXPECT_EQ(cold.cycles, 200u);
+  const WalkResult warm = walker.NativeWalk(1, PageSize::kBase);
+  EXPECT_EQ(warm.memory_refs, 2u);
+  EXPECT_EQ(warm.cycles, 2u * 50 + 2u * 2);
+}
+
+TEST(NestedWalker, ColdNestedWalkApproaches24Refs) {
+  NestedWalker walker(Config());
+  // Cold caches: 4 guest levels each needing a host walk for its table
+  // page (4 refs) plus the entry read, plus the final host walk.
+  const WalkResult cold = walker.NestedWalk(0, PageSize::kBase, 0,
+                                            PageSize::kBase);
+  // 4 * (4 + 1) + 4 = 24 in the worst case; upper host levels repeat and
+  // hit the host PWC, so the model lands close below.
+  EXPECT_GE(cold.memory_refs + cold.cached_refs, 12u);
+  EXPECT_LE(cold.memory_refs, 24u);
+  EXPECT_GT(cold.memory_refs, 8u);
+}
+
+TEST(NestedWalker, WarmNestedWalkIsMuchCheaper) {
+  NestedWalker walker(Config());
+  walker.NestedWalk(0, PageSize::kBase, 0, PageSize::kBase);
+  const WalkResult warm =
+      walker.NestedWalk(1, PageSize::kBase, 1, PageSize::kBase);
+  EXPECT_LT(warm.memory_refs, 6u);
+}
+
+TEST(NestedWalker, HugeGuestLeafSkipsPtDimension) {
+  NestedWalker a(Config());
+  NestedWalker b(Config());
+  // Warm both identically, then compare a base-leaf and huge-leaf walk for
+  // a *new* 2 MiB region (the PT-page translation is the difference).
+  a.NestedWalk(0, PageSize::kBase, 0, PageSize::kBase);
+  b.NestedWalk(0, PageSize::kBase, 0, PageSize::kBase);
+  const WalkResult base_walk =
+      a.NestedWalk(1024, PageSize::kBase, 1024, PageSize::kBase);
+  const WalkResult huge_walk =
+      b.NestedWalk(1024, PageSize::kHuge, 1024, PageSize::kBase);
+  EXPECT_LT(huge_walk.memory_refs, base_walk.memory_refs);
+}
+
+TEST(NestedWalker, HugeHostLeafShortensFinalWalk) {
+  NestedWalker a(Config());
+  NestedWalker b(Config());
+  const WalkResult host_base =
+      a.NestedWalk(0, PageSize::kBase, 0, PageSize::kBase);
+  const WalkResult host_huge =
+      b.NestedWalk(0, PageSize::kBase, 0, PageSize::kHuge);
+  EXPECT_LT(host_huge.memory_refs, host_base.memory_refs);
+}
+
+TEST(NestedWalker, NestedCostExceedsNativeCost) {
+  NestedWalker native(Config());
+  NestedWalker nested(Config());
+  base::Cycles native_total = 0;
+  base::Cycles nested_total = 0;
+  for (uint64_t vpn = 0; vpn < 4096; vpn += 97) {
+    native_total += native.NativeWalk(vpn, PageSize::kBase).cycles;
+    nested_total +=
+        nested.NestedWalk(vpn, PageSize::kBase, vpn, PageSize::kBase).cycles;
+  }
+  // The paper cites up to ~6x; the cached steady state is lower but nested
+  // must remain clearly more expensive.
+  EXPECT_GT(nested_total, native_total * 3 / 2);
+}
+
+TEST(NestedWalker, FlushRestoresColdCosts) {
+  NestedWalker walker(Config());
+  walker.NestedWalk(0, PageSize::kBase, 0, PageSize::kBase);
+  const WalkResult warm =
+      walker.NestedWalk(1, PageSize::kBase, 1, PageSize::kBase);
+  walker.Flush();
+  const WalkResult cold =
+      walker.NestedWalk(2, PageSize::kBase, 2, PageSize::kBase);
+  EXPECT_GT(cold.memory_refs, warm.memory_refs);
+}
+
+}  // namespace

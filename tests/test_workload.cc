@@ -1,0 +1,251 @@
+// Tests for the workload generators, catalog, and driver.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/systems.h"
+#include "os/machine.h"
+#include "policy/base_only.h"
+#include "workload/access_pattern.h"
+#include "workload/catalog.h"
+#include "workload/driver.h"
+
+namespace {
+
+using workload::AccessPattern;
+using workload::AccessStream;
+using workload::AllocPattern;
+using workload::Kind;
+using workload::WorkloadSpec;
+
+TEST(AccessStream, UniformStaysInBounds) {
+  WorkloadSpec spec;
+  spec.access = AccessPattern::kUniform;
+  spec.working_set_pages = 1000;
+  AccessStream stream(spec, 1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(stream.Next(1000), 1000u);
+  }
+}
+
+TEST(AccessStream, UniformCoversActiveSetOnly) {
+  WorkloadSpec spec;
+  spec.access = AccessPattern::kUniform;
+  spec.working_set_pages = 1000;
+  AccessStream stream(spec, 2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(stream.Next(10), 10u);
+  }
+}
+
+TEST(AccessStream, ZipfGrowsWithActiveSet) {
+  WorkloadSpec spec;
+  spec.access = AccessPattern::kZipf;
+  spec.zipf_theta = 0.9;
+  spec.working_set_pages = 4096;
+  AccessStream stream(spec, 3);
+  for (uint64_t active : {64ull, 256ull, 1024ull, 4096ull}) {
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_LT(stream.Next(active), active);
+    }
+  }
+}
+
+TEST(AccessStream, ScanMixIsMostlySequential) {
+  WorkloadSpec spec;
+  spec.access = AccessPattern::kScanMix;
+  spec.scan_jump_prob = 0.01;
+  spec.working_set_pages = 10000;
+  AccessStream stream(spec, 4);
+  uint64_t prev = stream.Next(10000);
+  int sequential = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t cur = stream.Next(10000);
+    if (cur == (prev + 1) % 10000) {
+      ++sequential;
+    }
+    prev = cur;
+  }
+  EXPECT_GT(sequential, 950);
+}
+
+TEST(Catalog, SixteenCleanSlateWorkloads) {
+  const auto catalog = workload::CleanSlateCatalog();
+  EXPECT_EQ(catalog.size(), 16u);
+  std::set<std::string> names;
+  for (const auto& spec : catalog) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_GE(spec.working_set_pages, 1024u);
+    EXPECT_GE(spec.ops, 10000u);
+    names.insert(spec.name);
+  }
+  EXPECT_EQ(names.size(), 16u) << "duplicate workload names";
+}
+
+TEST(Catalog, MotivationSubset) {
+  const auto motivation = workload::MotivationCatalog();
+  ASSERT_EQ(motivation.size(), 4u);
+  EXPECT_EQ(motivation[0].name, "Canneal");
+  EXPECT_EQ(motivation[3].name, "Specjbb");
+}
+
+TEST(Catalog, InsensitiveWorkloadsMarked) {
+  for (const auto& spec : workload::InsensitiveCatalog()) {
+    EXPECT_FALSE(spec.tlb_sensitive);
+  }
+}
+
+TEST(Catalog, SpecByNameFindsEveryEntry) {
+  for (const auto& spec : workload::CleanSlateCatalog()) {
+    EXPECT_EQ(workload::SpecByName(spec.name).name, spec.name);
+  }
+  EXPECT_EQ(workload::SpecByName("SVM-prefill").name, "SVM-prefill");
+}
+
+TEST(Catalog, SpecByNameAbortsOnUnknown) {
+  EXPECT_DEATH(workload::SpecByName("NoSuchWorkload"), "unknown workload");
+}
+
+class DriverTest : public ::testing::Test {
+ protected:
+  DriverTest() {
+    osim::MachineConfig config;
+    config.host_frames = 131072;
+    config.seed = 31;
+    machine_ = std::make_unique<osim::Machine>(config);
+    machine_->AddVm(32768, std::make_unique<policy::BaseOnlyPolicy>(),
+                    std::make_unique<policy::BaseOnlyPolicy>());
+  }
+
+  WorkloadSpec TinySpec() {
+    WorkloadSpec spec;
+    spec.name = "tiny";
+    spec.working_set_pages = 2048;
+    spec.vma_count = 4;
+    spec.ops = 5000;
+    spec.work_per_access = 100;
+    return spec;
+  }
+
+  std::unique_ptr<osim::Machine> machine_;
+};
+
+TEST_F(DriverTest, RunProducesConsistentCounters) {
+  workload::WorkloadDriver driver(machine_.get(), 0);
+  workload::DriverOptions options;
+  options.warmup_fraction = 0.0;
+  const auto result = driver.Run(TinySpec(), options);
+  EXPECT_EQ(result.workload, "tiny");
+  EXPECT_EQ(result.ops, 5000u);
+  EXPECT_GT(result.busy_cycles, 0u);
+  EXPECT_GT(result.throughput, 0.0);
+  EXPECT_EQ(result.tlb_hits + result.tlb_misses,
+            result.counters.tlb_hits + result.counters.tlb_misses);
+  EXPECT_GT(result.tlb_misses, 0u);
+  EXPECT_LE(result.tlb_miss_rate, 1.0);
+}
+
+TEST_F(DriverTest, LatencyKindRecordsRequests) {
+  workload::WorkloadDriver driver(machine_.get(), 0);
+  WorkloadSpec spec = TinySpec();
+  spec.kind = Kind::kLatency;
+  spec.accesses_per_request = 10;
+  workload::DriverOptions options;
+  options.warmup_fraction = 0.0;
+  const auto result = driver.Run(spec, options);
+  EXPECT_EQ(result.requests, 500u);
+  EXPECT_GT(result.mean_latency, 0.0);
+  EXPECT_GE(result.p99_latency, result.mean_latency * 0.5);
+}
+
+TEST_F(DriverTest, WarmupExcludedFromOps) {
+  workload::WorkloadDriver driver(machine_.get(), 0);
+  workload::DriverOptions options;
+  options.warmup_fraction = 0.2;
+  const auto result = driver.Run(TinySpec(), options);
+  EXPECT_EQ(result.ops, 4000u);
+}
+
+TEST_F(DriverTest, TeardownUnmapsEverything) {
+  workload::WorkloadDriver driver(machine_.get(), 0);
+  workload::DriverOptions options;
+  options.teardown = true;
+  driver.Run(TinySpec(), options);
+  EXPECT_EQ(machine_->vm(0).guest().aspace().vma_count(), 0u);
+  EXPECT_EQ(machine_->vm(0).guest().table().mapped_pages(), 0u);
+  EXPECT_EQ(machine_->vm(0).guest().buddy().allocated_frames(), 0u);
+}
+
+TEST_F(DriverTest, GradualAllocationGrowsVmaCount) {
+  workload::WorkloadDriver driver(machine_.get(), 0);
+  WorkloadSpec spec = TinySpec();
+  spec.alloc = AllocPattern::kGradual;
+  spec.vma_count = 8;
+  driver.Begin(spec, {});
+  driver.Step(100);
+  const size_t early = machine_->vm(0).guest().aspace().vma_count();
+  driver.Step(spec.ops);
+  const size_t late = machine_->vm(0).guest().aspace().vma_count();
+  EXPECT_LT(early, late);
+  EXPECT_EQ(late, 8u);
+  driver.Finish();
+}
+
+TEST_F(DriverTest, ChurnRecyclesVmas) {
+  workload::WorkloadDriver driver(machine_.get(), 0);
+  WorkloadSpec spec = TinySpec();
+  spec.churn_period_ops = 1000;
+  const auto result = driver.Run(spec, {});
+  (void)result;
+  // Same live VMA count, but ids advanced beyond the initial 4.
+  EXPECT_EQ(machine_->vm(0).guest().aspace().vma_count(), 4u);
+  bool recycled = false;
+  for (osim::Vma* vma : machine_->vm(0).guest().aspace().Vmas()) {
+    if (vma->id >= 4) {
+      recycled = true;
+    }
+  }
+  EXPECT_TRUE(recycled);
+}
+
+TEST_F(DriverTest, SteppedRunMatchesDoneSemantics) {
+  workload::WorkloadDriver driver(machine_.get(), 0);
+  driver.Begin(TinySpec(), {});
+  uint64_t total = 0;
+  while (!driver.Done()) {
+    total += driver.Step(333);
+  }
+  EXPECT_EQ(total, 5000u);
+  EXPECT_EQ(driver.Step(10), 0u);
+  driver.Finish();
+}
+
+}  // namespace
+
+namespace {
+
+TEST_F(DriverTest, GcSweepDensifiesRegions) {
+  workload::WorkloadDriver driver(machine_.get(), 0);
+  workload::WorkloadSpec spec = TinySpec();
+  spec.init_memory = false;          // lazily committed
+  spec.access = AccessPattern::kZipf;
+  spec.zipf_theta = 0.99;            // sparse touches without the sweep
+  spec.gc_sweep_period_ops = 2000;
+  driver.Run(spec, {});
+  // After sweeps, every page of every VMA is committed.
+  EXPECT_EQ(machine_->vm(0).guest().table().mapped_pages(),
+            spec.working_set_pages);
+}
+
+TEST_F(DriverTest, NoGcSweepLeavesSparseRegions) {
+  workload::WorkloadDriver driver(machine_.get(), 0);
+  workload::WorkloadSpec spec = TinySpec();
+  spec.init_memory = false;
+  spec.access = AccessPattern::kZipf;
+  spec.zipf_theta = 0.99;
+  driver.Run(spec, {});
+  EXPECT_LT(machine_->vm(0).guest().table().mapped_pages(),
+            spec.working_set_pages);
+}
+
+}  // namespace
