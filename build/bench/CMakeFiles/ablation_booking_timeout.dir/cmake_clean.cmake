@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_booking_timeout.dir/ablation_booking_timeout.cc.o"
+  "CMakeFiles/ablation_booking_timeout.dir/ablation_booking_timeout.cc.o.d"
+  "ablation_booking_timeout"
+  "ablation_booking_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_booking_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

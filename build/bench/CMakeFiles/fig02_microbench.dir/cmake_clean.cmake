@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_microbench.dir/fig02_microbench.cc.o"
+  "CMakeFiles/fig02_microbench.dir/fig02_microbench.cc.o.d"
+  "fig02_microbench"
+  "fig02_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_motivation.cc" "bench/CMakeFiles/fig03_motivation.dir/fig03_motivation.cc.o" "gcc" "bench/CMakeFiles/fig03_motivation.dir/fig03_motivation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gemini_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_throughput_clean.dir/fig08_throughput_clean.cc.o"
+  "CMakeFiles/fig08_throughput_clean.dir/fig08_throughput_clean.cc.o.d"
+  "fig08_throughput_clean"
+  "fig08_throughput_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_throughput_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

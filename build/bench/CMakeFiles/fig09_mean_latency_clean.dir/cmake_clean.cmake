@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mean_latency_clean.dir/fig09_mean_latency_clean.cc.o"
+  "CMakeFiles/fig09_mean_latency_clean.dir/fig09_mean_latency_clean.cc.o.d"
+  "fig09_mean_latency_clean"
+  "fig09_mean_latency_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mean_latency_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tail_latency_clean.dir/fig10_tail_latency_clean.cc.o"
+  "CMakeFiles/fig10_tail_latency_clean.dir/fig10_tail_latency_clean.cc.o.d"
+  "fig10_tail_latency_clean"
+  "fig10_tail_latency_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tail_latency_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tlb_misses_clean.dir/fig11_tlb_misses_clean.cc.o"
+  "CMakeFiles/fig11_tlb_misses_clean.dir/fig11_tlb_misses_clean.cc.o.d"
+  "fig11_tlb_misses_clean"
+  "fig11_tlb_misses_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tlb_misses_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

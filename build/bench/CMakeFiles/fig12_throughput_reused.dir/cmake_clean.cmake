@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_throughput_reused.dir/fig12_throughput_reused.cc.o"
+  "CMakeFiles/fig12_throughput_reused.dir/fig12_throughput_reused.cc.o.d"
+  "fig12_throughput_reused"
+  "fig12_throughput_reused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throughput_reused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mean_latency_reused.dir/fig13_mean_latency_reused.cc.o"
+  "CMakeFiles/fig13_mean_latency_reused.dir/fig13_mean_latency_reused.cc.o.d"
+  "fig13_mean_latency_reused"
+  "fig13_mean_latency_reused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mean_latency_reused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

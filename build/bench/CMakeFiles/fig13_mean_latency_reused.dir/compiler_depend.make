@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_mean_latency_reused.
+# This may be replaced when dependencies are built.

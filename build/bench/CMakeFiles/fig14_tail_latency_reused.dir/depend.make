@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_tail_latency_reused.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tlb_misses_reused.dir/fig15_tlb_misses_reused.cc.o"
+  "CMakeFiles/fig15_tlb_misses_reused.dir/fig15_tlb_misses_reused.cc.o.d"
+  "fig15_tlb_misses_reused"
+  "fig15_tlb_misses_reused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tlb_misses_reused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

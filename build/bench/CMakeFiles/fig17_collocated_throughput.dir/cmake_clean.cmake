@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_collocated_throughput.dir/fig17_collocated_throughput.cc.o"
+  "CMakeFiles/fig17_collocated_throughput.dir/fig17_collocated_throughput.cc.o.d"
+  "fig17_collocated_throughput"
+  "fig17_collocated_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_collocated_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

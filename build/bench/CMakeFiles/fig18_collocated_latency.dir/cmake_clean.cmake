@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_collocated_latency.dir/fig18_collocated_latency.cc.o"
+  "CMakeFiles/fig18_collocated_latency.dir/fig18_collocated_latency.cc.o.d"
+  "fig18_collocated_latency"
+  "fig18_collocated_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_collocated_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_alignment.dir/table01_alignment.cc.o"
+  "CMakeFiles/table01_alignment.dir/table01_alignment.cc.o.d"
+  "table01_alignment"
+  "table01_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

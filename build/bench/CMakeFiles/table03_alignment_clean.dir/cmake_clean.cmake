@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_alignment_clean.dir/table03_alignment_clean.cc.o"
+  "CMakeFiles/table03_alignment_clean.dir/table03_alignment_clean.cc.o.d"
+  "table03_alignment_clean"
+  "table03_alignment_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_alignment_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

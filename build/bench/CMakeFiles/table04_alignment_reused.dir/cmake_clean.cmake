@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_alignment_reused.dir/table04_alignment_reused.cc.o"
+  "CMakeFiles/table04_alignment_reused.dir/table04_alignment_reused.cc.o.d"
+  "table04_alignment_reused"
+  "table04_alignment_reused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_alignment_reused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collocated_vms.dir/collocated_vms.cpp.o"
+  "CMakeFiles/collocated_vms.dir/collocated_vms.cpp.o.d"
+  "collocated_vms"
+  "collocated_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collocated_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reused_vm.dir/reused_vm.cpp.o"
+  "CMakeFiles/reused_vm.dir/reused_vm.cpp.o.d"
+  "reused_vm"
+  "reused_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reused_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_base.dir/base/interval_set.cc.o"
+  "CMakeFiles/gemini_base.dir/base/interval_set.cc.o.d"
+  "CMakeFiles/gemini_base.dir/base/rng.cc.o"
+  "CMakeFiles/gemini_base.dir/base/rng.cc.o.d"
+  "CMakeFiles/gemini_base.dir/base/stats.cc.o"
+  "CMakeFiles/gemini_base.dir/base/stats.cc.o.d"
+  "libgemini_base.a"
+  "libgemini_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

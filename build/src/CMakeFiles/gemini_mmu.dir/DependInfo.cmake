@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmu/nested_walker.cc" "src/CMakeFiles/gemini_mmu.dir/mmu/nested_walker.cc.o" "gcc" "src/CMakeFiles/gemini_mmu.dir/mmu/nested_walker.cc.o.d"
+  "/root/repo/src/mmu/page_table.cc" "src/CMakeFiles/gemini_mmu.dir/mmu/page_table.cc.o" "gcc" "src/CMakeFiles/gemini_mmu.dir/mmu/page_table.cc.o.d"
+  "/root/repo/src/mmu/page_walk_cache.cc" "src/CMakeFiles/gemini_mmu.dir/mmu/page_walk_cache.cc.o" "gcc" "src/CMakeFiles/gemini_mmu.dir/mmu/page_walk_cache.cc.o.d"
+  "/root/repo/src/mmu/tlb.cc" "src/CMakeFiles/gemini_mmu.dir/mmu/tlb.cc.o" "gcc" "src/CMakeFiles/gemini_mmu.dir/mmu/tlb.cc.o.d"
+  "/root/repo/src/mmu/translation_engine.cc" "src/CMakeFiles/gemini_mmu.dir/mmu/translation_engine.cc.o" "gcc" "src/CMakeFiles/gemini_mmu.dir/mmu/translation_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gemini_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_mmu.dir/mmu/nested_walker.cc.o"
+  "CMakeFiles/gemini_mmu.dir/mmu/nested_walker.cc.o.d"
+  "CMakeFiles/gemini_mmu.dir/mmu/page_table.cc.o"
+  "CMakeFiles/gemini_mmu.dir/mmu/page_table.cc.o.d"
+  "CMakeFiles/gemini_mmu.dir/mmu/page_walk_cache.cc.o"
+  "CMakeFiles/gemini_mmu.dir/mmu/page_walk_cache.cc.o.d"
+  "CMakeFiles/gemini_mmu.dir/mmu/tlb.cc.o"
+  "CMakeFiles/gemini_mmu.dir/mmu/tlb.cc.o.d"
+  "CMakeFiles/gemini_mmu.dir/mmu/translation_engine.cc.o"
+  "CMakeFiles/gemini_mmu.dir/mmu/translation_engine.cc.o.d"
+  "libgemini_mmu.a"
+  "libgemini_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemini/ema.cc" "src/CMakeFiles/gemini_os.dir/gemini/ema.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/gemini/ema.cc.o.d"
+  "/root/repo/src/gemini/gemini_policy.cc" "src/CMakeFiles/gemini_os.dir/gemini/gemini_policy.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/gemini/gemini_policy.cc.o.d"
+  "/root/repo/src/gemini/huge_booking.cc" "src/CMakeFiles/gemini_os.dir/gemini/huge_booking.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/gemini/huge_booking.cc.o.d"
+  "/root/repo/src/gemini/huge_bucket.cc" "src/CMakeFiles/gemini_os.dir/gemini/huge_bucket.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/gemini/huge_bucket.cc.o.d"
+  "/root/repo/src/gemini/mhps.cc" "src/CMakeFiles/gemini_os.dir/gemini/mhps.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/gemini/mhps.cc.o.d"
+  "/root/repo/src/gemini/promoter.cc" "src/CMakeFiles/gemini_os.dir/gemini/promoter.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/gemini/promoter.cc.o.d"
+  "/root/repo/src/os/balloon.cc" "src/CMakeFiles/gemini_os.dir/os/balloon.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/os/balloon.cc.o.d"
+  "/root/repo/src/os/guest_kernel.cc" "src/CMakeFiles/gemini_os.dir/os/guest_kernel.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/os/guest_kernel.cc.o.d"
+  "/root/repo/src/os/host_kernel.cc" "src/CMakeFiles/gemini_os.dir/os/host_kernel.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/os/host_kernel.cc.o.d"
+  "/root/repo/src/os/kernel_base.cc" "src/CMakeFiles/gemini_os.dir/os/kernel_base.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/os/kernel_base.cc.o.d"
+  "/root/repo/src/os/ksm.cc" "src/CMakeFiles/gemini_os.dir/os/ksm.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/os/ksm.cc.o.d"
+  "/root/repo/src/os/machine.cc" "src/CMakeFiles/gemini_os.dir/os/machine.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/os/machine.cc.o.d"
+  "/root/repo/src/os/virtual_machine.cc" "src/CMakeFiles/gemini_os.dir/os/virtual_machine.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/os/virtual_machine.cc.o.d"
+  "/root/repo/src/os/vma.cc" "src/CMakeFiles/gemini_os.dir/os/vma.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/os/vma.cc.o.d"
+  "/root/repo/src/policy/base_only.cc" "src/CMakeFiles/gemini_os.dir/policy/base_only.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/policy/base_only.cc.o.d"
+  "/root/repo/src/policy/ca_paging.cc" "src/CMakeFiles/gemini_os.dir/policy/ca_paging.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/policy/ca_paging.cc.o.d"
+  "/root/repo/src/policy/hawkeye.cc" "src/CMakeFiles/gemini_os.dir/policy/hawkeye.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/policy/hawkeye.cc.o.d"
+  "/root/repo/src/policy/ingens.cc" "src/CMakeFiles/gemini_os.dir/policy/ingens.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/policy/ingens.cc.o.d"
+  "/root/repo/src/policy/misalignment.cc" "src/CMakeFiles/gemini_os.dir/policy/misalignment.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/policy/misalignment.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/CMakeFiles/gemini_os.dir/policy/policy.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/policy/policy.cc.o.d"
+  "/root/repo/src/policy/thp.cc" "src/CMakeFiles/gemini_os.dir/policy/thp.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/policy/thp.cc.o.d"
+  "/root/repo/src/policy/translation_ranger.cc" "src/CMakeFiles/gemini_os.dir/policy/translation_ranger.cc.o" "gcc" "src/CMakeFiles/gemini_os.dir/policy/translation_ranger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gemini_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

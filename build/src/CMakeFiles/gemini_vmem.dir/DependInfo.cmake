@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmem/buddy_allocator.cc" "src/CMakeFiles/gemini_vmem.dir/vmem/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/gemini_vmem.dir/vmem/buddy_allocator.cc.o.d"
+  "/root/repo/src/vmem/contiguity_list.cc" "src/CMakeFiles/gemini_vmem.dir/vmem/contiguity_list.cc.o" "gcc" "src/CMakeFiles/gemini_vmem.dir/vmem/contiguity_list.cc.o.d"
+  "/root/repo/src/vmem/fragmenter.cc" "src/CMakeFiles/gemini_vmem.dir/vmem/fragmenter.cc.o" "gcc" "src/CMakeFiles/gemini_vmem.dir/vmem/fragmenter.cc.o.d"
+  "/root/repo/src/vmem/frame_space.cc" "src/CMakeFiles/gemini_vmem.dir/vmem/frame_space.cc.o" "gcc" "src/CMakeFiles/gemini_vmem.dir/vmem/frame_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gemini_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_vmem.dir/vmem/buddy_allocator.cc.o"
+  "CMakeFiles/gemini_vmem.dir/vmem/buddy_allocator.cc.o.d"
+  "CMakeFiles/gemini_vmem.dir/vmem/contiguity_list.cc.o"
+  "CMakeFiles/gemini_vmem.dir/vmem/contiguity_list.cc.o.d"
+  "CMakeFiles/gemini_vmem.dir/vmem/fragmenter.cc.o"
+  "CMakeFiles/gemini_vmem.dir/vmem/fragmenter.cc.o.d"
+  "CMakeFiles/gemini_vmem.dir/vmem/frame_space.cc.o"
+  "CMakeFiles/gemini_vmem.dir/vmem/frame_space.cc.o.d"
+  "libgemini_vmem.a"
+  "libgemini_vmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_vmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/gemini_workload.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/systems.cc" "src/CMakeFiles/gemini_workload.dir/harness/systems.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/harness/systems.cc.o.d"
+  "/root/repo/src/metrics/alignment_audit.cc" "src/CMakeFiles/gemini_workload.dir/metrics/alignment_audit.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/metrics/alignment_audit.cc.o.d"
+  "/root/repo/src/metrics/counters.cc" "src/CMakeFiles/gemini_workload.dir/metrics/counters.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/metrics/counters.cc.o.d"
+  "/root/repo/src/metrics/export.cc" "src/CMakeFiles/gemini_workload.dir/metrics/export.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/metrics/export.cc.o.d"
+  "/root/repo/src/metrics/perf_model.cc" "src/CMakeFiles/gemini_workload.dir/metrics/perf_model.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/metrics/perf_model.cc.o.d"
+  "/root/repo/src/metrics/table.cc" "src/CMakeFiles/gemini_workload.dir/metrics/table.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/metrics/table.cc.o.d"
+  "/root/repo/src/workload/access_pattern.cc" "src/CMakeFiles/gemini_workload.dir/workload/access_pattern.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/workload/access_pattern.cc.o.d"
+  "/root/repo/src/workload/catalog.cc" "src/CMakeFiles/gemini_workload.dir/workload/catalog.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/workload/catalog.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/CMakeFiles/gemini_workload.dir/workload/driver.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/workload/driver.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/gemini_workload.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/gemini_workload.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gemini_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_vmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gemini_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_workload.dir/harness/experiment.cc.o"
+  "CMakeFiles/gemini_workload.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/harness/systems.cc.o"
+  "CMakeFiles/gemini_workload.dir/harness/systems.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/metrics/alignment_audit.cc.o"
+  "CMakeFiles/gemini_workload.dir/metrics/alignment_audit.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/metrics/counters.cc.o"
+  "CMakeFiles/gemini_workload.dir/metrics/counters.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/metrics/export.cc.o"
+  "CMakeFiles/gemini_workload.dir/metrics/export.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/metrics/perf_model.cc.o"
+  "CMakeFiles/gemini_workload.dir/metrics/perf_model.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/metrics/table.cc.o"
+  "CMakeFiles/gemini_workload.dir/metrics/table.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/workload/access_pattern.cc.o"
+  "CMakeFiles/gemini_workload.dir/workload/access_pattern.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/workload/catalog.cc.o"
+  "CMakeFiles/gemini_workload.dir/workload/catalog.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/workload/driver.cc.o"
+  "CMakeFiles/gemini_workload.dir/workload/driver.cc.o.d"
+  "CMakeFiles/gemini_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/gemini_workload.dir/workload/workload.cc.o.d"
+  "libgemini_workload.a"
+  "libgemini_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

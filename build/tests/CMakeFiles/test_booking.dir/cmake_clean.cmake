@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_booking.dir/test_booking.cc.o"
+  "CMakeFiles/test_booking.dir/test_booking.cc.o.d"
+  "test_booking"
+  "test_booking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_booking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bucket.dir/test_bucket.cc.o"
+  "CMakeFiles/test_bucket.dir/test_bucket.cc.o.d"
+  "test_bucket"
+  "test_bucket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

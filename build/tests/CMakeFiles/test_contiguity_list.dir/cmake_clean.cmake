@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contiguity_list.dir/test_contiguity_list.cc.o"
+  "CMakeFiles/test_contiguity_list.dir/test_contiguity_list.cc.o.d"
+  "test_contiguity_list"
+  "test_contiguity_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contiguity_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ema.dir/test_ema.cc.o"
+  "CMakeFiles/test_ema.dir/test_ema.cc.o.d"
+  "test_ema"
+  "test_ema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

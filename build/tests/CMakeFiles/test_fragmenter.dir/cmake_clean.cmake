@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fragmenter.dir/test_fragmenter.cc.o"
+  "CMakeFiles/test_fragmenter.dir/test_fragmenter.cc.o.d"
+  "test_fragmenter"
+  "test_fragmenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fragmenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_machine.dir/test_fuzz_machine.cc.o"
+  "CMakeFiles/test_fuzz_machine.dir/test_fuzz_machine.cc.o.d"
+  "test_fuzz_machine"
+  "test_fuzz_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

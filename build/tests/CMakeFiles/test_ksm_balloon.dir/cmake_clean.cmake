@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ksm_balloon.dir/test_ksm_balloon.cc.o"
+  "CMakeFiles/test_ksm_balloon.dir/test_ksm_balloon.cc.o.d"
+  "test_ksm_balloon"
+  "test_ksm_balloon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ksm_balloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

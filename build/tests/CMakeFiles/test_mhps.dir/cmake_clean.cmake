@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mhps.dir/test_mhps.cc.o"
+  "CMakeFiles/test_mhps.dir/test_mhps.cc.o.d"
+  "test_mhps"
+  "test_mhps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mhps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

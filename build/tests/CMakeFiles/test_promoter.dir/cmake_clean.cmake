@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_promoter.dir/test_promoter.cc.o"
+  "CMakeFiles/test_promoter.dir/test_promoter.cc.o.d"
+  "test_promoter"
+  "test_promoter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_promoter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

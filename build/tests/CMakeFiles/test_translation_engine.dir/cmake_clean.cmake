@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_translation_engine.dir/test_translation_engine.cc.o"
+  "CMakeFiles/test_translation_engine.dir/test_translation_engine.cc.o.d"
+  "test_translation_engine"
+  "test_translation_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_translation_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

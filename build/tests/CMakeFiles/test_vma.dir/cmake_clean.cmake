@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vma.dir/test_vma.cc.o"
+  "CMakeFiles/test_vma.dir/test_vma.cc.o.d"
+  "test_vma"
+  "test_vma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
