@@ -33,27 +33,54 @@ workload::RunResult RunWith(bool with_ksm, int balloon_mode /*0=none,1=naive,2=a
   return driver.Finish();
 }
 
+struct Cell {
+  workload::RunResult result;
+  double wall_ms = 0.0;
+};
+
 }  // namespace
 
 int main() {
-  metrics::TextTable table(
-      "Ablation: Gemini vs memory deduplication and ballooning (paper §8)");
-  table.SetColumns({"configuration", "throughput", "aligned", "miss rate"});
   struct Case {
     const char* label;
     bool ksm;
     int balloon;
   };
-  for (const Case& c : std::vector<Case>{{"Gemini alone", false, 0},
-                                         {"+ KSM dedup", true, 0},
-                                         {"+ naive balloon", false, 1},
-                                         {"+ alignment-aware balloon", false, 2}}) {
-    const auto r = RunWith(c.ksm, c.balloon);
-    table.AddRow({c.label, metrics::TextTable::Fmt(r.throughput, 3),
+  const std::vector<Case> cases = {{"Gemini alone", false, 0},
+                                   {"+ KSM dedup", true, 0},
+                                   {"+ naive balloon", false, 1},
+                                   {"+ alignment-aware balloon", false, 2}};
+
+  harness::SweepRunnerOptions pool;
+  pool.label = "ablation_interference";
+  pool.cell_name = [&](size_t i) { return std::string(cases[i].label); };
+  const auto cells = harness::ParallelMap(
+      cases.size(),
+      [&](size_t i) {
+        const auto start = std::chrono::steady_clock::now();
+        Cell cell;
+        cell.result = RunWith(cases[i].ksm, cases[i].balloon);
+        cell.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        return cell;
+      },
+      std::move(pool));
+
+  metrics::TextTable table(
+      "Ablation: Gemini vs memory deduplication and ballooning (paper §8)");
+  table.SetColumns({"configuration", "throughput", "aligned", "miss rate"});
+  std::vector<metrics::ResultRow> rows;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const workload::RunResult& r = cells[i].result;
+    table.AddRow({cases[i].label, metrics::TextTable::Fmt(r.throughput, 3),
                   metrics::TextTable::Pct(r.alignment.well_aligned_rate),
                   metrics::TextTable::Fmt(r.tlb_miss_rate, 3)});
-    std::fprintf(stderr, "%s done\n", c.label);
+    rows.push_back(metrics::ResultRow{"Canneal", cases[i].label,
+                                      &cells[i].result, cells[i].wall_ms,
+                                      harness::BedOptions{}.seed});
   }
   table.Print();
+  bench::ExportRows("ablation_interference", rows);
   return 0;
 }

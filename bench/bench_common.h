@@ -2,18 +2,27 @@
 //
 // Every bench binary prints one table shaped like the paper's figure it
 // regenerates: workloads as rows, the eight systems as columns, values
-// normalized the way the paper normalizes them.  Set GEMINI_FAST=1 to run
-// abbreviated sweeps while iterating.
+// normalized the way the paper normalizes them.  Environment contract
+// (full details in BENCHMARKS.md):
+//   GEMINI_FAST=1        abbreviated sweeps while iterating
+//   GEMINI_JOBS=N        worker threads for the sweep (default: all cores)
+//   GEMINI_EXPORT=DIR    also write <DIR>/<label>.csv and .json per sweep
+// Tables on stdout are bit-identical at any job count; progress and
+// timing go to stderr.
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/sweep_runner.h"
+#include "metrics/export.h"
 #include "metrics/perf_model.h"
 #include "metrics/table.h"
 
@@ -23,9 +32,21 @@ using RunFn = std::function<workload::RunResult(
     harness::SystemKind, const workload::WorkloadSpec&,
     const harness::BedOptions&)>;
 
+// One (workload, system) measurement of a sweep, in deterministic
+// workload-major, system-minor order.
+struct SweepCell {
+  std::string workload;
+  harness::SystemKind system = harness::SystemKind::kHostBVmB;
+  workload::RunResult result;
+  double wall_ms = 0.0;  // host wall-clock; NOT deterministic
+  uint64_t seed = 0;     // BedOptions::seed the cell ran under
+};
+
 struct SweepResult {
-  // results[workload][system] -> run result.
-  std::vector<std::string> workloads;
+  std::vector<std::string> workloads;          // row order
+  std::vector<harness::SystemKind> systems;    // column order
+  std::vector<SweepCell> cells;                // workload-major
+  // results[workload][system] -> run result (view over `cells`).
   std::map<std::string, std::map<harness::SystemKind, workload::RunResult>>
       results;
 };
@@ -34,27 +55,86 @@ inline workload::WorkloadSpec MaybeFast(const workload::WorkloadSpec& spec) {
   return harness::FastMode() ? harness::ScaleSpec(spec, 0.3) : spec;
 }
 
-// Runs `fn` for every (workload, system) pair.
+// If GEMINI_EXPORT=<dir> is set, writes <dir>/<label>.csv and .json.
+// Every exported field except wall_ms is deterministic (see
+// metrics/export.h for the schema).
+inline void ExportRows(const std::string& label,
+                       const std::vector<metrics::ResultRow>& rows) {
+  const char* dir = std::getenv("GEMINI_EXPORT");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  const std::string base = std::string(dir) + "/" + label;
+  metrics::WriteFile(base + ".csv", metrics::ToCsv(rows));
+  metrics::WriteFile(base + ".json", metrics::ToJson(rows));
+  std::fprintf(stderr, "[%s] exported %s.{csv,json}\n", label.c_str(),
+               base.c_str());
+}
+
+// Export rows of a sweep, in cell (row-major) order.
+inline std::vector<metrics::ResultRow> SweepRows(const SweepResult& sweep) {
+  std::vector<metrics::ResultRow> rows;
+  rows.reserve(sweep.cells.size());
+  for (const SweepCell& cell : sweep.cells) {
+    rows.push_back(metrics::ResultRow{
+        cell.workload, std::string(harness::SystemName(cell.system)),
+        &cell.result, cell.wall_ms, cell.seed});
+  }
+  return rows;
+}
+
+// Runs `fn` for every (workload, system) pair, in parallel across
+// GEMINI_JOBS worker threads.  Each cell builds its own machine and RNGs
+// from `bed`, so cells are independent; results are keyed by cell index
+// (workload-major, system-minor), which makes the sweep deterministic at
+// any job count.  `label` names the sweep in stderr progress lines and in
+// GEMINI_EXPORT file names.
 inline SweepResult RunSweep(const std::vector<workload::WorkloadSpec>& specs,
                             const std::vector<harness::SystemKind>& systems,
-                            const harness::BedOptions& bed, const RunFn& fn) {
+                            const harness::BedOptions& bed, const RunFn& fn,
+                            const std::string& label = "sweep") {
   SweepResult sweep;
+  sweep.systems = systems;
+  std::vector<workload::WorkloadSpec> scaled;
+  scaled.reserve(specs.size());
   for (const auto& spec : specs) {
-    const workload::WorkloadSpec scaled = MaybeFast(spec);
     sweep.workloads.push_back(spec.name);
-    for (harness::SystemKind kind : systems) {
-      sweep.results[spec.name][kind] = fn(kind, scaled, bed);
-      std::fprintf(stderr, ".");
-    }
-    std::fprintf(stderr, " %s done\n", spec.name.c_str());
+    scaled.push_back(MaybeFast(spec));
   }
+
+  const size_t columns = systems.size();
+  sweep.cells.resize(specs.size() * columns);
+  harness::SweepRunnerOptions options;
+  options.label = label;
+  options.cell_name = [&](size_t i) {
+    return specs[i / columns].name + " x " +
+           std::string(harness::SystemName(systems[i % columns]));
+  };
+  harness::SweepRunner runner(std::move(options));
+  runner.Run(sweep.cells.size(), [&](size_t i) {
+    SweepCell& cell = sweep.cells[i];
+    cell.workload = specs[i / columns].name;
+    cell.system = systems[i % columns];
+    cell.seed = bed.seed;
+    const auto start = std::chrono::steady_clock::now();
+    cell.result = fn(cell.system, scaled[i / columns], bed);
+    cell.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  });
+
+  for (const SweepCell& cell : sweep.cells) {
+    sweep.results[cell.workload][cell.system] = cell.result;
+  }
+  ExportRows(label, SweepRows(sweep));
   return sweep;
 }
 
-// Prints one metric of a sweep as a table, normalized per-row against the
-// metric's value under `baseline` (pass the same system to skip
-// normalization is not meaningful; use extract returning raw values and
-// baseline == first column convention instead).
+// Prints one metric of a sweep as a table, with each row normalized
+// against the metric's value under `baseline` (so the baseline column
+// prints 1.00).  The geomean row is annotated with the metric's
+// direction: `higher_is_better` selects between "geomean (higher is
+// better)" and "geomean (lower is better)".
 inline void PrintNormalizedTable(
     const std::string& title, const SweepResult& sweep,
     const std::vector<harness::SystemKind>& systems,
@@ -80,14 +160,15 @@ inline void PrintNormalizedTable(
     }
     table.AddRow(cells);
   }
-  std::vector<std::string> mean_row{"geomean"};
+  std::vector<std::string> mean_row{
+      higher_is_better ? "geomean (higher is better)"
+                       : "geomean (lower is better)"};
   for (harness::SystemKind kind : systems) {
     mean_row.push_back(
         metrics::TextTable::Fmt(metrics::GeometricMean(normalized[kind])));
   }
   table.AddRow(mean_row);
   table.Print();
-  (void)higher_is_better;
 }
 
 // Prints the well-aligned-rate table (Tables 1/3/4 format).

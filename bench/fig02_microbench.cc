@@ -13,6 +13,7 @@
 
 #include "base/rng.h"
 #include "base/types.h"
+#include "harness/sweep_runner.h"
 #include "metrics/table.h"
 #include "mmu/page_table.h"
 #include "mmu/translation_engine.h"
@@ -93,20 +94,36 @@ int main() {
   columns.emplace_back("HH/BB speedup");
   table.SetColumns(columns);
 
-  for (uint64_t regions : sizes) {
+  // All (size, config) cells are independent measurements; run them on the
+  // sweep pool and read them back in index order.
+  harness::SweepRunnerOptions options;
+  options.label = "fig02_microbench";
+  options.cell_name = [&](size_t i) {
+    return std::to_string(sizes[i / configs.size()] * 2) + " MiB x " +
+           configs[i % configs.size()].label;
+  };
+  const auto measured = harness::ParallelMap(
+      sizes.size() * configs.size(),
+      [&](size_t i) {
+        const Config& c = configs[i % configs.size()];
+        return Measure(sizes[i / configs.size()], c.guest, c.host);
+      },
+      std::move(options));
+
+  for (size_t s = 0; s < sizes.size(); ++s) {
     std::vector<std::string> cells;
     char label[32];
     std::snprintf(label, sizeof(label), "%llu MiB",
-                  static_cast<unsigned long long>(regions * 2));
+                  static_cast<unsigned long long>(sizes[s] * 2));
     cells.emplace_back(label);
     double bb = 0;
     double hh = 0;
-    for (const auto& c : configs) {
-      const double v = Measure(regions, c.guest, c.host);
-      if (std::string(c.label) == "Host-B-VM-B") {
+    for (size_t k = 0; k < configs.size(); ++k) {
+      const double v = measured[s * configs.size() + k];
+      if (std::string(configs[k].label) == "Host-B-VM-B") {
         bb = v;
       }
-      if (std::string(c.label) == "Host-H-VM-H") {
+      if (std::string(configs[k].label) == "Host-H-VM-H") {
         hh = v;
       }
       cells.push_back(metrics::TextTable::Fmt(v, 3));

@@ -12,7 +12,8 @@ int main() {
   const auto systems = harness::AllSystems();
   harness::BedOptions bed;
   const auto sweep = bench::RunSweep(workload::MotivationCatalog(), systems,
-                                     bed, harness::RunCleanSlate);
+                                     bed, harness::RunCleanSlate,
+                                     "fig03_motivation");
 
   bench::PrintNormalizedTable(
       "Figure 3a: motivation throughput (normalized to Host-B-VM-B)", sweep,

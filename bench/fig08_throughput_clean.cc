@@ -12,8 +12,9 @@ int main() {
   for (bool fragmented : {true, false}) {
     harness::BedOptions bed;
     bed.fragmented = fragmented;
-    const auto sweep =
-        bench::RunSweep(specs, systems, bed, harness::RunCleanSlate);
+    const auto sweep = bench::RunSweep(
+        specs, systems, bed, harness::RunCleanSlate,
+        fragmented ? "fig08_fragmented" : "fig08_unfragmented");
     bench::PrintNormalizedTable(
         std::string("Figure 8: clean-slate throughput, ") +
             (fragmented ? "fragmented" : "unfragmented") +

@@ -9,8 +9,9 @@ int main() {
   for (bool fragmented : {true, false}) {
     harness::BedOptions bed;
     bed.fragmented = fragmented;
-    const auto sweep =
-        bench::RunSweep(specs, systems, bed, harness::RunCleanSlate);
+    const auto sweep = bench::RunSweep(
+        specs, systems, bed, harness::RunCleanSlate,
+        fragmented ? "fig09_fragmented" : "fig09_unfragmented");
     bench::PrintNormalizedTable(
         std::string("Figure 9: clean-slate mean latency, ") +
             (fragmented ? "fragmented" : "unfragmented") +

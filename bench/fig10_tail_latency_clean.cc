@@ -9,8 +9,9 @@ int main() {
   for (bool fragmented : {true, false}) {
     harness::BedOptions bed;
     bed.fragmented = fragmented;
-    const auto sweep =
-        bench::RunSweep(specs, systems, bed, harness::RunCleanSlate);
+    const auto sweep = bench::RunSweep(
+        specs, systems, bed, harness::RunCleanSlate,
+        fragmented ? "fig10_fragmented" : "fig10_unfragmented");
     bench::PrintNormalizedTable(
         std::string("Figure 10: clean-slate p99 latency, ") +
             (fragmented ? "fragmented" : "unfragmented") +

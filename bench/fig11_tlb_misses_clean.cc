@@ -7,7 +7,8 @@ int main() {
   const auto systems = harness::AllSystems();
   harness::BedOptions bed;
   const auto sweep = bench::RunSweep(workload::CleanSlateCatalog(), systems,
-                                     bed, harness::RunCleanSlate);
+                                     bed, harness::RunCleanSlate,
+                                     "fig11_tlb_misses");
   bench::PrintNormalizedTable(
       "Figure 11: clean-slate TLB misses (normalized to Gemini; lower is "
       "better)",

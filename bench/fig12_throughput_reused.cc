@@ -11,7 +11,8 @@ int main() {
   const auto systems = harness::AllSystems();
   harness::BedOptions bed;
   const auto sweep = bench::RunSweep(workload::CleanSlateCatalog(), systems,
-                                     bed, harness::RunReusedVm);
+                                     bed, harness::RunReusedVm,
+                                     "fig12_throughput_reused");
   bench::PrintNormalizedTable(
       "Figure 12: reused-VM throughput (normalized to Host-B-VM-B)", sweep,
       systems, harness::SystemKind::kHostBVmB,

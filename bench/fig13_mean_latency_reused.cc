@@ -6,7 +6,8 @@ int main() {
   const auto systems = harness::AllSystems();
   harness::BedOptions bed;
   const auto sweep = bench::RunSweep(bench::LatencyWorkloads(), systems, bed,
-                                     harness::RunReusedVm);
+                                     harness::RunReusedVm,
+                                     "fig13_mean_latency_reused");
   bench::PrintNormalizedTable(
       "Figure 13: reused-VM mean latency (normalized to Host-B-VM-B; lower "
       "is better)",

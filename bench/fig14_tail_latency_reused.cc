@@ -6,7 +6,8 @@ int main() {
   const auto systems = harness::AllSystems();
   harness::BedOptions bed;
   const auto sweep = bench::RunSweep(bench::LatencyWorkloads(), systems, bed,
-                                     harness::RunReusedVm);
+                                     harness::RunReusedVm,
+                                     "fig14_tail_latency_reused");
   bench::PrintNormalizedTable(
       "Figure 14: reused-VM p99 latency (normalized to Host-B-VM-B; lower "
       "is better)",

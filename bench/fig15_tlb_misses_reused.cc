@@ -6,7 +6,8 @@ int main() {
   const auto systems = harness::AllSystems();
   harness::BedOptions bed;
   const auto sweep = bench::RunSweep(workload::CleanSlateCatalog(), systems,
-                                     bed, harness::RunReusedVm);
+                                     bed, harness::RunReusedVm,
+                                     "fig15_tlb_misses_reused");
   bench::PrintNormalizedTable(
       "Figure 15: reused-VM TLB misses (normalized to Gemini; lower is "
       "better)",

@@ -10,6 +10,15 @@
 // most for allocation-churning workloads (Redis, RocksDB, Memcached).
 #include "bench/bench_common.h"
 
+namespace {
+
+struct Cell {
+  workload::RunResult result;
+  double wall_ms = 0.0;
+};
+
+}  // namespace
+
 int main() {
   const std::vector<std::string> names = {"Canneal", "Redis",  "RocksDB",
                                           "Memcached", "CG.D", "SVM"};
@@ -21,21 +30,56 @@ int main() {
   gemini::GeminiOptions bucket_only;
   bucket_only.enable_ema = false;
 
+  // Variant-minor cell layout: base, full, EMA/HB only, bucket only.
+  const std::vector<std::string> variants = {"Host-B-VM-B", "Gemini",
+                                             "Gemini-EMA/HB",
+                                             "Gemini-bucket"};
+  const size_t kVariants = variants.size();
+  harness::SweepRunnerOptions options;
+  options.label = "fig16_breakdown";
+  options.cell_name = [&](size_t i) {
+    return names[i / kVariants] + " x " + variants[i % kVariants];
+  };
+  const auto cells = harness::ParallelMap(
+      names.size() * kVariants,
+      [&](size_t i) {
+        const workload::WorkloadSpec spec =
+            bench::MaybeFast(workload::SpecByName(names[i / kVariants]));
+        const auto start = std::chrono::steady_clock::now();
+        Cell cell;
+        switch (i % kVariants) {
+          case 0:
+            cell.result = harness::RunReusedVm(harness::SystemKind::kHostBVmB,
+                                               spec, bed);
+            break;
+          case 1:
+            cell.result = harness::RunGeminiAblation(spec, bed, full);
+            break;
+          case 2:
+            cell.result = harness::RunGeminiAblation(spec, bed, ema_only);
+            break;
+          default:
+            cell.result = harness::RunGeminiAblation(spec, bed, bucket_only);
+        }
+        cell.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        return cell;
+      },
+      std::move(options));
+
   metrics::TextTable table(
       "Figure 16: Gemini performance breakdown (share of throughput gain "
       "over Host-B-VM-B)");
   table.SetColumns({"workload", "full thr", "EMA/HB share", "bucket share"});
   std::vector<double> ema_shares;
   std::vector<double> bucket_shares;
-  for (const auto& name : names) {
-    const workload::WorkloadSpec spec =
-        bench::MaybeFast(workload::SpecByName(name));
-    const auto base =
-        harness::RunReusedVm(harness::SystemKind::kHostBVmB, spec, bed);
-    const auto with_full = harness::RunGeminiAblation(spec, bed, full);
-    const auto with_ema = harness::RunGeminiAblation(spec, bed, ema_only);
-    const auto with_bucket =
-        harness::RunGeminiAblation(spec, bed, bucket_only);
+  std::vector<metrics::ResultRow> rows;
+  for (size_t n = 0; n < names.size(); ++n) {
+    const auto& base = cells[n * kVariants + 0].result;
+    const auto& with_full = cells[n * kVariants + 1].result;
+    const auto& with_ema = cells[n * kVariants + 2].result;
+    const auto& with_bucket = cells[n * kVariants + 3].result;
     const double gain_ema =
         std::max(0.0, with_ema.throughput - base.throughput);
     const double gain_bucket =
@@ -45,18 +89,24 @@ int main() {
     const double bucket_share = total > 0 ? gain_bucket / total : 0.0;
     ema_shares.push_back(ema_share);
     bucket_shares.push_back(bucket_share);
-    table.AddRow({name,
+    table.AddRow({names[n],
                   metrics::TextTable::Fmt(
                       metrics::Normalize(with_full.throughput,
                                          base.throughput)),
                   metrics::TextTable::Pct(ema_share),
                   metrics::TextTable::Pct(bucket_share)});
-    std::fprintf(stderr, "%s done\n", name.c_str());
+    for (size_t v = 0; v < kVariants; ++v) {
+      rows.push_back(metrics::ResultRow{names[n], variants[v],
+                                        &cells[n * kVariants + v].result,
+                                        cells[n * kVariants + v].wall_ms,
+                                        bed.seed});
+    }
   }
   table.AddRow({"average", "",
                 metrics::TextTable::Pct(metrics::ArithmeticMean(ema_shares)),
                 metrics::TextTable::Pct(
                     metrics::ArithmeticMean(bucket_shares))});
   table.Print();
+  bench::ExportRows("fig16_breakdown", rows);
   return 0;
 }

@@ -8,6 +8,15 @@
 // Gemini introduces negligible overhead (paper: ~2-3 %).
 #include "bench/bench_common.h"
 
+namespace {
+
+struct Cell {
+  harness::CollocatedResult result;
+  double wall_ms = 0.0;
+};
+
+}  // namespace
+
 int main() {
   struct Pair {
     const char* vm0;
@@ -22,6 +31,30 @@ int main() {
   harness::BedOptions bed;
   bed.host_frames = 640 * 1024;  // room for two VMs
 
+  harness::SweepRunnerOptions options;
+  options.label = "fig17_collocated";
+  options.cell_name = [&](size_t i) {
+    const Pair& pair = pairs[i / systems.size()];
+    return std::string(pair.vm0) + "+" + pair.vm1 + " x " +
+           std::string(harness::SystemName(systems[i % systems.size()]));
+  };
+  const auto cells = harness::ParallelMap(
+      pairs.size() * systems.size(),
+      [&](size_t i) {
+        const Pair& pair = pairs[i / systems.size()];
+        const auto spec0 = bench::MaybeFast(workload::SpecByName(pair.vm0));
+        const auto spec1 = bench::MaybeFast(workload::SpecByName(pair.vm1));
+        const auto start = std::chrono::steady_clock::now();
+        Cell cell;
+        cell.result = harness::RunCollocated(systems[i % systems.size()],
+                                             spec0, spec1, bed);
+        cell.wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        return cell;
+      },
+      std::move(options));
+
   metrics::TextTable table(
       "Figure 17: collocated-VM throughput (normalized to Host-B-VM-B)");
   std::vector<std::string> columns{"VM / workload"};
@@ -30,30 +63,39 @@ int main() {
   }
   table.SetColumns(columns);
 
-  for (const auto& pair : pairs) {
-    const auto spec0 = bench::MaybeFast(workload::SpecByName(pair.vm0));
-    const auto spec1 = bench::MaybeFast(workload::SpecByName(pair.vm1));
-    std::map<harness::SystemKind, harness::CollocatedResult> results;
-    for (harness::SystemKind kind : systems) {
-      results[kind] = harness::RunCollocated(kind, spec0, spec1, bed);
-      std::fprintf(stderr, ".");
+  std::vector<metrics::ResultRow> rows;
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const Pair& pair = pairs[p];
+    const Cell* row_cells = &cells[p * systems.size()];
+    size_t base_index = 0;
+    for (size_t k = 0; k < systems.size(); ++k) {
+      if (systems[k] == harness::SystemKind::kHostBVmB) {
+        base_index = k;
+      }
     }
-    std::fprintf(stderr, " %s+%s done\n", pair.vm0, pair.vm1);
-    const double base0 =
-        results[harness::SystemKind::kHostBVmB].vm0.throughput;
-    const double base1 =
-        results[harness::SystemKind::kHostBVmB].vm1.throughput;
+    const double base0 = row_cells[base_index].result.vm0.throughput;
+    const double base1 = row_cells[base_index].result.vm1.throughput;
     std::vector<std::string> row0{std::string("vm0 ") + pair.vm0};
     std::vector<std::string> row1{std::string("vm1 ") + pair.vm1};
-    for (harness::SystemKind kind : systems) {
+    for (size_t k = 0; k < systems.size(); ++k) {
       row0.push_back(metrics::TextTable::Fmt(
-          metrics::Normalize(results[kind].vm0.throughput, base0)));
+          metrics::Normalize(row_cells[k].result.vm0.throughput, base0)));
       row1.push_back(metrics::TextTable::Fmt(
-          metrics::Normalize(results[kind].vm1.throughput, base1)));
+          metrics::Normalize(row_cells[k].result.vm1.throughput, base1)));
+      const std::string tag =
+          std::string(pair.vm0) + "+" + pair.vm1;
+      const std::string system(harness::SystemName(systems[k]));
+      rows.push_back(metrics::ResultRow{tag + "/vm0", system,
+                                        &row_cells[k].result.vm0,
+                                        row_cells[k].wall_ms, bed.seed});
+      rows.push_back(metrics::ResultRow{tag + "/vm1", system,
+                                        &row_cells[k].result.vm1,
+                                        row_cells[k].wall_ms, bed.seed});
     }
     table.AddRow(row0);
     table.AddRow(row1);
   }
   table.Print();
+  bench::ExportRows("fig17_collocated", rows);
   return 0;
 }

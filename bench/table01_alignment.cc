@@ -10,7 +10,8 @@ int main() {
   const auto systems = harness::AlignmentTableSystems();
   harness::BedOptions bed;
   const auto sweep = bench::RunSweep(workload::MotivationCatalog(), systems,
-                                     bed, harness::RunCleanSlate);
+                                     bed, harness::RunCleanSlate,
+                                     "table01_alignment");
   bench::PrintAlignmentTable("Table 1: rates of well-aligned huge pages",
                              sweep, systems);
   return 0;

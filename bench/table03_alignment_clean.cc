@@ -6,7 +6,8 @@ int main() {
   const auto systems = harness::AlignmentTableSystems();
   harness::BedOptions bed;
   const auto sweep = bench::RunSweep(workload::CleanSlateCatalog(), systems,
-                                     bed, harness::RunCleanSlate);
+                                     bed, harness::RunCleanSlate,
+                                     "table03_alignment_clean");
   bench::PrintAlignmentTable(
       "Table 3: well-aligned huge page rates, clean-slate VM", sweep,
       systems);

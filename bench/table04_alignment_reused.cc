@@ -9,7 +9,8 @@ int main() {
   const auto systems = harness::AlignmentTableSystems();
   harness::BedOptions bed;
   const auto sweep = bench::RunSweep(workload::CleanSlateCatalog(), systems,
-                                     bed, harness::RunReusedVm);
+                                     bed, harness::RunReusedVm,
+                                     "table04_alignment_reused");
   bench::PrintAlignmentTable(
       "Table 4: well-aligned huge page rates, reused VM", sweep, systems);
   return 0;

@@ -55,7 +55,8 @@ std::string EscapeCsv(const std::string& s) {
 std::string ToCsv(const std::vector<ResultRow>& rows) {
   std::ostringstream out;
   out << "workload,system,throughput,mean_latency,p99_latency,tlb_misses,"
-         "tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,busy_cycles\n";
+         "tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,busy_cycles,"
+         "wall_ms,seed\n";
   for (const ResultRow& row : rows) {
     SIM_CHECK(row.result != nullptr);
     const workload::RunResult& r = *row.result;
@@ -63,7 +64,8 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
         << r.throughput << ',' << r.mean_latency << ',' << r.p99_latency
         << ',' << r.tlb_misses << ',' << r.tlb_miss_rate << ','
         << r.alignment.well_aligned_rate << ',' << r.alignment.guest_huge
-        << ',' << r.alignment.host_huge << ',' << r.busy_cycles << '\n';
+        << ',' << r.alignment.host_huge << ',' << r.busy_cycles << ','
+        << row.wall_ms << ',' << row.seed << '\n';
   }
   return out.str();
 }
@@ -84,7 +86,9 @@ std::string ToJson(const std::vector<ResultRow>& rows) {
         << ", \"well_aligned_rate\": " << r.alignment.well_aligned_rate
         << ", \"guest_huge\": " << r.alignment.guest_huge
         << ", \"host_huge\": " << r.alignment.host_huge
-        << ", \"busy_cycles\": " << r.busy_cycles << '}'
+        << ", \"busy_cycles\": " << r.busy_cycles
+        << ", \"wall_ms\": " << rows[i].wall_ms
+        << ", \"seed\": " << rows[i].seed << '}'
         << (i + 1 < rows.size() ? ",\n" : "\n");
   }
   out << "]\n";

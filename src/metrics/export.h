@@ -1,9 +1,34 @@
 // Machine-readable result export: CSV and JSON renderings of RunResult
 // collections, so bench outputs can be plotted or regression-tracked
 // without scraping the text tables.
+//
+// Row schema (one object per (workload, system) sweep cell; identical
+// field set and order in CSV and JSON — see BENCHMARKS.md for the env-var
+// contract that triggers export from the bench binaries):
+//
+//   field             | type   | unit / meaning
+//   ------------------+--------+------------------------------------------
+//   workload          | string | workload spec name (JSON-escaped)
+//   system            | string | harness::SystemName of the column
+//   throughput        | number | ops per 1000 simulated cycles
+//   mean_latency      | number | simulated cycles per request
+//   p99_latency       | number | simulated cycles, 99th percentile
+//   tlb_misses        | int    | count over the measured phase
+//   tlb_miss_rate     | number | misses / accesses, 0..1
+//   well_aligned_rate | number | well-aligned huge pages / guest huge, 0..1
+//   guest_huge        | int    | guest huge pages at end of run
+//   host_huge         | int    | host (EPT) huge pages at end of run
+//   busy_cycles       | int    | simulated cycles of the measured phase
+//   wall_ms           | number | host wall-clock of the cell, milliseconds
+//   seed              | int    | BedOptions::seed that produced the cell
+//
+// Every field except wall_ms is deterministic: same seed, same values, at
+// any GEMINI_JOBS count.  wall_ms is real host time — use it to track the
+// simulator's own performance, never to compare systems.
 #ifndef SRC_METRICS_EXPORT_H_
 #define SRC_METRICS_EXPORT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,11 +43,14 @@ struct ResultRow {
   std::string workload;
   std::string system;
   const workload::RunResult* result = nullptr;
+  double wall_ms = 0.0;  // host wall-clock spent computing the cell
+  uint64_t seed = 0;     // harness::BedOptions::seed of the cell
 };
 
 // Renders rows as CSV with a fixed header:
 // workload,system,throughput,mean_latency,p99_latency,tlb_misses,
-// tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,busy_cycles
+// tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,busy_cycles,
+// wall_ms,seed
 std::string ToCsv(const std::vector<ResultRow>& rows);
 
 // Renders rows as a JSON array of objects with the same fields.

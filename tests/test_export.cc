@@ -34,6 +34,23 @@ TEST(Export, CsvHasHeaderAndRow) {
             std::string::npos);
 }
 
+TEST(Export, CsvCarriesWallTimeAndSeedColumns) {
+  const auto r = SampleResult();
+  const std::string csv = metrics::ToCsv(
+      {metrics::ResultRow{"Redis", "Gemini", &r, /*wall_ms=*/12.5,
+                          /*seed=*/99}});
+  // Header ends with the regression-tracking columns.
+  EXPECT_NE(csv.find("busy_cycles,wall_ms,seed\n"), std::string::npos);
+  EXPECT_NE(csv.find(",123456,12.5,99\n"), std::string::npos);
+}
+
+TEST(Export, CsvDefaultsWallTimeAndSeedToZero) {
+  const auto r = SampleResult();
+  const std::string csv =
+      metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(csv.find(",123456,0,0\n"), std::string::npos);
+}
+
 TEST(Export, CsvEscapesCommasAndQuotes) {
   const auto r = SampleResult();
   const std::string csv = metrics::ToCsv(
@@ -59,6 +76,24 @@ TEST(Export, JsonEscapesSpecialCharacters) {
   const std::string json = metrics::ToJson(
       {metrics::ResultRow{"quote\"backslash\\", "sys", &r}});
   EXPECT_NE(json.find("quote\\\"backslash\\\\"), std::string::npos);
+}
+
+TEST(Export, JsonEscapesControlCharactersInWorkloadNames) {
+  const auto r = SampleResult();
+  const std::string json = metrics::ToJson(
+      {metrics::ResultRow{"tab\there\nnewline", "sys", &r}});
+  EXPECT_NE(json.find("tab\\u0009here\\u000anewline"), std::string::npos);
+  // The raw control characters must not survive into the output value.
+  EXPECT_EQ(json.find("tab\there"), std::string::npos);
+}
+
+TEST(Export, JsonCarriesWallTimeAndSeed) {
+  const auto r = SampleResult();
+  const std::string json = metrics::ToJson(
+      {metrics::ResultRow{"Redis", "Gemini", &r, /*wall_ms=*/3.25,
+                          /*seed=*/17}});
+  EXPECT_NE(json.find("\"wall_ms\": 3.25"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 17"), std::string::npos);
 }
 
 TEST(Export, WriteFileRoundTrips) {
