@@ -42,7 +42,11 @@ int main() {
         options.controller_period = variants[i].period;
         const auto start = std::chrono::steady_clock::now();
         Cell cell;
-        cell.result = harness::RunGeminiAblation(spec, bed, options);
+        cell.result = harness::RunGeminiAblation(
+            spec,
+            bench::TracedBed(bed, "ablation_booking_timeout", i,
+                             variants[i].label),
+            options);
         cell.wall_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
                            .count();

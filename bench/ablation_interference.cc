@@ -9,10 +9,11 @@
 
 namespace {
 
-workload::RunResult RunWith(bool with_ksm, int balloon_mode /*0=none,1=naive,2=aware*/) {
+workload::RunResult RunWith(bool with_ksm,
+                            int balloon_mode /*0=none,1=naive,2=aware*/,
+                            const harness::BedOptions& bed) {
   const workload::WorkloadSpec spec =
       bench::MaybeFast(workload::SpecByName("Canneal"));
-  harness::BedOptions bed;
   harness::TestBed testbed =
       harness::MakeTestBed(harness::SystemKind::kGemini, bed);
   if (with_ksm) {
@@ -30,7 +31,9 @@ workload::RunResult RunWith(bool with_ksm, int balloon_mode /*0=none,1=naive,2=a
   }
   while (driver.Step(spec.ops) > 0) {
   }
-  return driver.Finish();
+  workload::RunResult result = driver.Finish();
+  trace::WriteTraceFiles(bed.trace, *testbed.machine, testbed.sampler);
+  return result;
 }
 
 struct Cell {
@@ -59,7 +62,11 @@ int main() {
       [&](size_t i) {
         const auto start = std::chrono::steady_clock::now();
         Cell cell;
-        cell.result = RunWith(cases[i].ksm, cases[i].balloon);
+        cell.result =
+            RunWith(cases[i].ksm, cases[i].balloon,
+                    bench::TracedBed(harness::BedOptions{},
+                                     "ablation_interference", i,
+                                     cases[i].label));
         cell.wall_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
                            .count();

@@ -7,6 +7,8 @@
 //   GEMINI_FAST=1        abbreviated sweeps while iterating
 //   GEMINI_JOBS=N        worker threads for the sweep (default: all cores)
 //   GEMINI_EXPORT=DIR    also write <DIR>/<label>.csv and .json per sweep
+//   GEMINI_TRACE=DIR     per-cell Perfetto trace + time-series CSV
+//   GEMINI_TRACE_INTERVAL=N   sampler period, simulated cycles
 // Tables on stdout are bit-identical at any job count; progress and
 // timing go to stderr.
 #ifndef BENCH_BENCH_COMMON_H_
@@ -25,6 +27,7 @@
 #include "metrics/export.h"
 #include "metrics/perf_model.h"
 #include "metrics/table.h"
+#include "trace/session.h"
 
 namespace bench {
 
@@ -83,6 +86,22 @@ inline std::vector<metrics::ResultRow> SweepRows(const SweepResult& sweep) {
   return rows;
 }
 
+// Per-cell trace config for benches that drive cells directly through
+// harness::ParallelMap instead of RunSweep.  Same artifact-naming
+// convention: <label>_cellNN_<cell name>, keyed by cell index so the
+// artifact set is identical at any GEMINI_JOBS count.
+inline harness::BedOptions TracedBed(const harness::BedOptions& bed,
+                                     const std::string& label, size_t i,
+                                     const std::string& cell_name) {
+  harness::BedOptions out = bed;
+  char cell_tag[32];
+  std::snprintf(cell_tag, sizeof(cell_tag), "cell%02zu", i);
+  out.trace = trace::TraceConfigFromEnv(trace::SanitizeFileStem(label) + "_" +
+                                        cell_tag + "_" +
+                                        trace::SanitizeFileStem(cell_name));
+  return out;
+}
+
 // Runs `fn` for every (workload, system) pair, in parallel across
 // GEMINI_JOBS worker threads.  Each cell builds its own machine and RNGs
 // from `bed`, so cells are independent; results are keyed by cell index
@@ -116,8 +135,19 @@ inline SweepResult RunSweep(const std::vector<workload::WorkloadSpec>& specs,
     cell.workload = specs[i / columns].name;
     cell.system = systems[i % columns];
     cell.seed = bed.seed;
+    // Per-cell trace files are keyed by cell index (like results), so the
+    // set of artifacts is identical at any GEMINI_JOBS count.
+    harness::BedOptions cell_bed = bed;
+    char cell_tag[32];
+    std::snprintf(cell_tag, sizeof(cell_tag), "cell%02zu",
+                  static_cast<size_t>(i));
+    cell_bed.trace = trace::TraceConfigFromEnv(
+        trace::SanitizeFileStem(label) + "_" + cell_tag + "_" +
+        trace::SanitizeFileStem(cell.workload) + "_" +
+        trace::SanitizeFileStem(
+            std::string(harness::SystemName(cell.system))));
     const auto start = std::chrono::steady_clock::now();
-    cell.result = fn(cell.system, scaled[i / columns], bed);
+    cell.result = fn(cell.system, scaled[i / columns], cell_bed);
     cell.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - start)
                        .count();

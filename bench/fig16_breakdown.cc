@@ -45,21 +45,25 @@ int main() {
       [&](size_t i) {
         const workload::WorkloadSpec spec =
             bench::MaybeFast(workload::SpecByName(names[i / kVariants]));
+        const harness::BedOptions cell_bed = bench::TracedBed(
+            bed, "fig16_breakdown", i,
+            names[i / kVariants] + "_" + variants[i % kVariants]);
         const auto start = std::chrono::steady_clock::now();
         Cell cell;
         switch (i % kVariants) {
           case 0:
             cell.result = harness::RunReusedVm(harness::SystemKind::kHostBVmB,
-                                               spec, bed);
+                                               spec, cell_bed);
             break;
           case 1:
-            cell.result = harness::RunGeminiAblation(spec, bed, full);
+            cell.result = harness::RunGeminiAblation(spec, cell_bed, full);
             break;
           case 2:
-            cell.result = harness::RunGeminiAblation(spec, bed, ema_only);
+            cell.result = harness::RunGeminiAblation(spec, cell_bed, ema_only);
             break;
           default:
-            cell.result = harness::RunGeminiAblation(spec, bed, bucket_only);
+            cell.result =
+                harness::RunGeminiAblation(spec, cell_bed, bucket_only);
         }
         cell.wall_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)

@@ -46,8 +46,13 @@ int main() {
         const auto spec1 = bench::MaybeFast(workload::SpecByName(pair.vm1));
         const auto start = std::chrono::steady_clock::now();
         Cell cell;
-        cell.result = harness::RunCollocated(systems[i % systems.size()],
-                                             spec0, spec1, bed);
+        cell.result = harness::RunCollocated(
+            systems[i % systems.size()], spec0, spec1,
+            bench::TracedBed(
+                bed, "fig17_collocated", i,
+                std::string(pair.vm0) + "_" + pair.vm1 + "_" +
+                    std::string(harness::SystemName(
+                        systems[i % systems.size()]))));
         cell.wall_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
                            .count();

@@ -29,12 +29,12 @@ GeminiGuestPolicy::~GeminiGuestPolicy() = default;
 
 void GeminiGuestPolicy::EnsureComponents(KernelOps& kernel) {
   if (booking_ == nullptr) {
-    booking_ = std::make_unique<BookingManager>(&kernel.buddy(),
-                                                &kernel.frames(),
-                                                kernel.vm_id());
-    bucket_ = std::make_unique<HugeBucket>(&kernel.buddy(), &kernel.frames(),
-                                           kernel.vm_id(),
-                                           options_.bucket_retention);
+    booking_ = std::make_unique<BookingManager>(
+        &kernel.buddy(), &kernel.frames(), kernel.vm_id(), kernel.tracer(),
+        kernel.layer());
+    bucket_ = std::make_unique<HugeBucket>(
+        &kernel.buddy(), &kernel.frames(), kernel.vm_id(),
+        options_.bucket_retention, kernel.tracer(), kernel.layer());
     contiguity_ = std::make_unique<vmem::ContiguityList>(&kernel.buddy());
   }
 }
@@ -164,8 +164,14 @@ void GeminiGuestPolicy::OnDaemonTick(KernelOps& kernel) {
 
   // Algorithm 1: one measurement period ends, adjust the booking timeout.
   if (now >= next_controller_period_) {
-    controller_.OnPeriod(kernel.DrainTlbMisses(), kernel.Fmfi());
+    const base::Cycles before = controller_.effective_timeout();
+    const base::Cycles after =
+        controller_.OnPeriod(kernel.DrainTlbMisses(), kernel.Fmfi());
     next_controller_period_ = now + options_.controller_period;
+    if (after != before && kernel.tracer() != nullptr) {
+      kernel.tracer()->Emit(trace::EventKind::kTimeoutChange, kernel.layer(),
+                            kernel.vm_id(), after, before);
+    }
   }
 
   booking_->ExpireTimeouts(now);
@@ -265,6 +271,24 @@ std::vector<uint64_t> GeminiGuestPolicy::RankHugeDemotionVictims(
   return out;
 }
 
+policy::PolicyTelemetry GeminiGuestPolicy::Telemetry() const {
+  policy::PolicyTelemetry t;
+  if (booking_ != nullptr) {
+    t.bookings_started = booking_->started();
+    t.bookings_assigned = booking_->assigned();
+    t.bookings_expired = booking_->expired();
+    t.bookings_active = booking_->booked_count();
+  }
+  if (bucket_ != nullptr) {
+    t.bucket_deposits = bucket_->deposits();
+    t.bucket_hits = bucket_->reuses();
+    t.bucket_evictions = bucket_->evictions();
+    t.bucket_held = bucket_->held_count();
+  }
+  t.booking_timeout = controller_.effective_timeout();
+  return t;
+}
+
 // --- GeminiHostPolicy --------------------------------------------------------
 
 GeminiHostPolicy::GeminiHostPolicy(GeminiRuntime* runtime,
@@ -280,9 +304,9 @@ GeminiHostPolicy::~GeminiHostPolicy() = default;
 
 void GeminiHostPolicy::EnsureComponents(KernelOps& kernel) {
   if (booking_ == nullptr) {
-    booking_ = std::make_unique<BookingManager>(&kernel.buddy(),
-                                                &kernel.frames(),
-                                                kernel.vm_id());
+    booking_ = std::make_unique<BookingManager>(
+        &kernel.buddy(), &kernel.frames(), kernel.vm_id(), kernel.tracer(),
+        kernel.layer());
     contiguity_ = std::make_unique<vmem::ContiguityList>(&kernel.buddy());
   }
 }
@@ -360,8 +384,14 @@ void GeminiHostPolicy::OnDaemonTick(KernelOps& kernel) {
   GeminiChannel& channel = runtime_->channel();
 
   if (now >= next_controller_period_) {
-    controller_.OnPeriod(kernel.DrainTlbMisses(), kernel.Fmfi());
+    const base::Cycles before = controller_.effective_timeout();
+    const base::Cycles after =
+        controller_.OnPeriod(kernel.DrainTlbMisses(), kernel.Fmfi());
     next_controller_period_ = now + options_.controller_period;
+    if (after != before && kernel.tracer() != nullptr) {
+      kernel.tracer()->Emit(trace::EventKind::kTimeoutChange, kernel.layer(),
+                            kernel.vm_id(), after, before);
+    }
   }
 
   booking_->ExpireTimeouts(now);
@@ -404,6 +434,18 @@ void GeminiHostPolicy::OnDaemonTick(KernelOps& kernel) {
   if (options_.enable_promoter) {
     promoter_.RunHostTick(kernel, channel);
   }
+}
+
+policy::PolicyTelemetry GeminiHostPolicy::Telemetry() const {
+  policy::PolicyTelemetry t;
+  if (booking_ != nullptr) {
+    t.bookings_started = booking_->started();
+    t.bookings_assigned = booking_->assigned();
+    t.bookings_expired = booking_->expired();
+    t.bookings_active = booking_->booked_count();
+  }
+  t.booking_timeout = controller_.effective_timeout();
+  return t;
 }
 
 // --- GeminiRuntime -----------------------------------------------------------

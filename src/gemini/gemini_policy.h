@@ -73,6 +73,7 @@ class GeminiGuestPolicy final : public policy::HugePagePolicy {
   // pages may be demoted; well-aligned hot ones survive.
   std::vector<uint64_t> RankHugeDemotionVictims(policy::KernelOps& kernel,
                                                 size_t max_victims) override;
+  policy::PolicyTelemetry Telemetry() const override;
 
   const Ema& ema() const { return ema_; }
   const Promoter& promoter() const { return promoter_; }
@@ -114,6 +115,7 @@ class GeminiHostPolicy final : public policy::HugePagePolicy {
   policy::FaultDecision OnFault(policy::KernelOps& kernel,
                                 const policy::FaultInfo& info) override;
   void OnDaemonTick(policy::KernelOps& kernel) override;
+  policy::PolicyTelemetry Telemetry() const override;
 
   const Promoter& promoter() const { return promoter_; }
   const BookingManager* booking() const { return booking_.get(); }

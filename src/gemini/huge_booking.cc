@@ -59,6 +59,11 @@ bool BookingManager::Book(uint64_t frame, base::Cycles now,
   }
   frames_->SetUse(frame, kPagesPerHuge, owner_, vmem::FrameUse::kBooked);
   bookings_.emplace(frame, now + timeout);
+  ++started_;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kBookingBook, layer_, owner_, frame,
+                  now + timeout);
+  }
   return true;
 }
 
@@ -69,6 +74,10 @@ bool BookingManager::Assign(uint64_t frame) {
   }
   Release(it->first);
   bookings_.erase(it);
+  ++assigned_;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kBookingAssign, layer_, owner_, frame);
+  }
   return true;
 }
 
@@ -80,6 +89,10 @@ uint64_t BookingManager::AssignAny() {
   const uint64_t frame = it->first;
   Release(frame);
   bookings_.erase(it);
+  ++assigned_;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kBookingAssign, layer_, owner_, frame);
+  }
   return frame;
 }
 
@@ -87,6 +100,10 @@ uint64_t BookingManager::ExpireTimeouts(base::Cycles now) {
   uint64_t expired = 0;
   for (auto it = bookings_.begin(); it != bookings_.end();) {
     if (it->second <= now) {
+      if (tracer_ != nullptr) {
+        tracer_->Emit(trace::EventKind::kBookingExpire, layer_, owner_,
+                      it->first);
+      }
       Release(it->first);
       it = bookings_.erase(it);
       ++expired;
@@ -94,6 +111,7 @@ uint64_t BookingManager::ExpireTimeouts(base::Cycles now) {
       ++it;
     }
   }
+  expired_ += expired;
   return expired;
 }
 

@@ -24,6 +24,7 @@
 #include <map>
 
 #include "base/types.h"
+#include "trace/tracer.h"
 #include "vmem/buddy_allocator.h"
 #include "vmem/frame_space.h"
 
@@ -69,8 +70,13 @@ class BookingTimeoutController {
 class BookingManager {
  public:
   BookingManager(vmem::BuddyAllocator* buddy, vmem::FrameSpace* frames,
-                 int32_t owner)
-      : buddy_(buddy), frames_(frames), owner_(owner) {}
+                 int32_t owner, trace::Tracer* tracer = nullptr,
+                 base::Layer layer = base::Layer::kGuest)
+      : buddy_(buddy),
+        frames_(frames),
+        owner_(owner),
+        tracer_(tracer),
+        layer_(layer) {}
   ~BookingManager();
 
   // Books the region starting at `frame` (huge-aligned, 512 frames) if the
@@ -95,12 +101,22 @@ class BookingManager {
   // Releases every booking (e.g. memory pressure).
   void ReleaseAll();
 
+  // Cumulative lifetime counts, exported through PolicyTelemetry.
+  uint64_t started() const { return started_; }
+  uint64_t assigned() const { return assigned_; }
+  uint64_t expired() const { return expired_; }
+
  private:
   void Release(uint64_t frame);
 
   vmem::BuddyAllocator* buddy_;
   vmem::FrameSpace* frames_;
   int32_t owner_;
+  trace::Tracer* tracer_;
+  base::Layer layer_;
+  uint64_t started_ = 0;
+  uint64_t assigned_ = 0;
+  uint64_t expired_ = 0;
   std::map<uint64_t, base::Cycles> bookings_;  // first frame -> deadline
 };
 

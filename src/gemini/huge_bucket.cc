@@ -15,6 +15,10 @@ void HugeBucket::Deposit(uint64_t frame, base::Cycles now) {
   (void)it;
   SIM_CHECK(inserted);
   ++deposits_;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kBucketDeposit, layer_, owner_, frame,
+                  now + retention_);
+  }
 }
 
 uint64_t HugeBucket::TakeAny() {
@@ -26,6 +30,9 @@ uint64_t HugeBucket::TakeAny() {
   Release(frame);
   held_.erase(it);
   ++reuses_;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kBucketTake, layer_, owner_, frame);
+  }
   return frame;
 }
 
@@ -33,6 +40,10 @@ uint64_t HugeBucket::ExpireRetention(base::Cycles now) {
   uint64_t released = 0;
   for (auto it = held_.begin(); it != held_.end();) {
     if (it->second <= now) {
+      if (tracer_ != nullptr) {
+        tracer_->Emit(trace::EventKind::kBucketEvict, layer_, owner_,
+                      it->first);
+      }
       Release(it->first);
       it = held_.erase(it);
       ++released;
@@ -40,6 +51,7 @@ uint64_t HugeBucket::ExpireRetention(base::Cycles now) {
       ++it;
     }
   }
+  evictions_ += released;
   return released;
 }
 
@@ -47,10 +59,14 @@ uint64_t HugeBucket::ReleaseSome(uint64_t count) {
   uint64_t released = 0;
   while (released < count && !held_.empty()) {
     const auto it = held_.begin();
+    if (tracer_ != nullptr) {
+      tracer_->Emit(trace::EventKind::kBucketEvict, layer_, owner_, it->first);
+    }
     Release(it->first);
     held_.erase(it);
     ++released;
   }
+  evictions_ += released;
   return released;
 }
 

@@ -17,6 +17,7 @@
 #include <map>
 
 #include "base/types.h"
+#include "trace/tracer.h"
 #include "vmem/buddy_allocator.h"
 #include "vmem/frame_space.h"
 
@@ -25,8 +26,15 @@ namespace gemini {
 class HugeBucket {
  public:
   HugeBucket(vmem::BuddyAllocator* buddy, vmem::FrameSpace* frames,
-             int32_t owner, base::Cycles retention)
-      : buddy_(buddy), frames_(frames), owner_(owner), retention_(retention) {}
+             int32_t owner, base::Cycles retention,
+             trace::Tracer* tracer = nullptr,
+             base::Layer layer = base::Layer::kGuest)
+      : buddy_(buddy),
+        frames_(frames),
+        owner_(owner),
+        retention_(retention),
+        tracer_(tracer),
+        layer_(layer) {}
   ~HugeBucket();
 
   // Takes ownership of a freed, physically whole region (512 frames at
@@ -50,6 +58,7 @@ class HugeBucket {
   size_t held_count() const { return held_.size(); }
   uint64_t deposits() const { return deposits_; }
   uint64_t reuses() const { return reuses_; }
+  uint64_t evictions() const { return evictions_; }
 
  private:
   void Release(uint64_t frame);
@@ -58,9 +67,12 @@ class HugeBucket {
   vmem::FrameSpace* frames_;
   int32_t owner_;
   base::Cycles retention_;
+  trace::Tracer* tracer_;
+  base::Layer layer_;
   std::map<uint64_t, base::Cycles> held_;  // first frame -> deadline
   uint64_t deposits_ = 0;
   uint64_t reuses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace gemini

@@ -61,6 +61,7 @@ TestBed MakeTestBed(SystemKind kind, const BedOptions& options,
   config.host_frames = options.host_frames;
   config.seed = options.seed;
   bed.machine = std::make_unique<osim::Machine>(config);
+  bed.sampler = trace::SetupTracing(*bed.machine, options.trace);
   osim::VirtualMachine& vm =
       AddSystemVm(*bed.machine, kind, options.vm_gfn_count, gemini_options);
   bed.vm_id = vm.id();
@@ -82,7 +83,9 @@ workload::RunResult RunCleanSlate(SystemKind kind,
   workload::WorkloadDriver driver(bed.machine.get(), bed.vm_id);
   workload::DriverOptions driver_options;
   driver_options.seed = options.seed + 1000;
-  return driver.Run(spec, driver_options);
+  workload::RunResult result = driver.Run(spec, driver_options);
+  trace::WriteTraceFiles(options.trace, *bed.machine, bed.sampler);
+  return result;
 }
 
 workload::RunResult RunReusedVm(SystemKind kind,
@@ -102,7 +105,9 @@ workload::RunResult RunReusedVm(SystemKind kind,
   // Phase 2: the measured workload in the same (now reused) VM.
   workload::DriverOptions driver_options;
   driver_options.seed = options.seed + 1000;
-  return driver.Run(spec, driver_options);
+  workload::RunResult result = driver.Run(spec, driver_options);
+  trace::WriteTraceFiles(options.trace, *bed.machine, bed.sampler);
+  return result;
 }
 
 workload::RunResult RunGeminiAblation(const workload::WorkloadSpec& spec,
@@ -121,7 +126,9 @@ workload::RunResult RunGeminiAblation(const workload::WorkloadSpec& spec,
 
   workload::DriverOptions driver_options;
   driver_options.seed = options.seed + 1000;
-  return driver.Run(spec, driver_options);
+  workload::RunResult result = driver.Run(spec, driver_options);
+  trace::WriteTraceFiles(options.trace, *bed.machine, bed.sampler);
+  return result;
 }
 
 CollocatedResult RunCollocated(SystemKind kind,
@@ -132,6 +139,7 @@ CollocatedResult RunCollocated(SystemKind kind,
   config.host_frames = options.host_frames;
   config.seed = options.seed;
   auto machine = std::make_unique<osim::Machine>(config);
+  trace::StackSampler* sampler = trace::SetupTracing(*machine, options.trace);
   osim::VirtualMachine& vm0 =
       AddSystemVm(*machine, kind, options.vm_gfn_count);
   osim::VirtualMachine& vm1 =
@@ -159,6 +167,7 @@ CollocatedResult RunCollocated(SystemKind kind,
   CollocatedResult result;
   result.vm0 = d0.Finish();
   result.vm1 = d1.Finish();
+  trace::WriteTraceFiles(options.trace, *machine, sampler);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness/systems.h"
+#include "trace/session.h"
 #include "workload/catalog.h"
 #include "workload/driver.h"
 
@@ -30,12 +31,17 @@ struct BedOptions {
   // not fault-time allocation, on real reused hosts.
   double boot_noise_fraction = 0.3;
   uint64_t seed = 17;
+  // Observability: when trace.enabled, the machine records tracepoints and
+  // time series, written by the Run* helpers when the measurement ends.
+  trace::TraceConfig trace;
 };
 
 // A single-VM testbed under one system.
 struct TestBed {
   std::unique_ptr<osim::Machine> machine;
   int32_t vm_id = 0;
+  // Machine-owned time-series sampler; null unless tracing is enabled.
+  trace::StackSampler* sampler = nullptr;
 
   osim::VirtualMachine& vm() { return machine->vm(vm_id); }
 };

@@ -16,6 +16,10 @@ StackSnapshot StackSnapshot::Delta(const StackSnapshot& earlier) const {
   d.guest_promotions = guest_promotions - earlier.guest_promotions;
   d.host_promotions = host_promotions - earlier.host_promotions;
   d.pages_copied = pages_copied - earlier.pages_copied;
+  d.demotions = demotions - earlier.demotions;
+  d.bookings_started = bookings_started - earlier.bookings_started;
+  d.bookings_expired = bookings_expired - earlier.bookings_expired;
+  d.bucket_hits = bucket_hits - earlier.bucket_hits;
   return d;
 }
 
@@ -35,6 +39,12 @@ StackSnapshot Snapshot(osim::Machine& machine, int32_t vm_id) {
   s.host_overhead_cycles = h.overhead_cycles;
   s.host_promotions = h.promotions_in_place + h.promotions_migrated;
   s.pages_copied = g.pages_copied + h.pages_copied;
+  s.demotions = g.demotions + h.demotions;
+  const policy::PolicyTelemetry gt = vm.guest().policy().Telemetry();
+  const policy::PolicyTelemetry ht = vm.host_slice().policy().Telemetry();
+  s.bookings_started = gt.bookings_started + ht.bookings_started;
+  s.bookings_expired = gt.bookings_expired + ht.bookings_expired;
+  s.bucket_hits = gt.bucket_hits + ht.bucket_hits;
   return s;
 }
 

@@ -22,6 +22,11 @@ struct StackSnapshot {
   uint64_t guest_promotions = 0;
   uint64_t host_promotions = 0;
   uint64_t pages_copied = 0;
+  uint64_t demotions = 0;
+  // Gemini mechanism counters, zero under policies without booking/bucket.
+  uint64_t bookings_started = 0;
+  uint64_t bookings_expired = 0;
+  uint64_t bucket_hits = 0;
 
   StackSnapshot Delta(const StackSnapshot& earlier) const;
 };

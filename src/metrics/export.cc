@@ -55,8 +55,9 @@ std::string EscapeCsv(const std::string& s) {
 std::string ToCsv(const std::vector<ResultRow>& rows) {
   std::ostringstream out;
   out << "workload,system,throughput,mean_latency,p99_latency,tlb_misses,"
-         "tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,busy_cycles,"
-         "wall_ms,seed\n";
+         "tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,"
+         "bookings_started,bookings_expired,bucket_hits,demotions,"
+         "busy_cycles,wall_ms,seed\n";
   for (const ResultRow& row : rows) {
     SIM_CHECK(row.result != nullptr);
     const workload::RunResult& r = *row.result;
@@ -64,8 +65,11 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
         << r.throughput << ',' << r.mean_latency << ',' << r.p99_latency
         << ',' << r.tlb_misses << ',' << r.tlb_miss_rate << ','
         << r.alignment.well_aligned_rate << ',' << r.alignment.guest_huge
-        << ',' << r.alignment.host_huge << ',' << r.busy_cycles << ','
-        << row.wall_ms << ',' << row.seed << '\n';
+        << ',' << r.alignment.host_huge << ','
+        << r.counters.bookings_started << ',' << r.counters.bookings_expired
+        << ',' << r.counters.bucket_hits << ',' << r.counters.demotions
+        << ',' << r.busy_cycles << ',' << row.wall_ms << ',' << row.seed
+        << '\n';
   }
   return out.str();
 }
@@ -86,6 +90,10 @@ std::string ToJson(const std::vector<ResultRow>& rows) {
         << ", \"well_aligned_rate\": " << r.alignment.well_aligned_rate
         << ", \"guest_huge\": " << r.alignment.guest_huge
         << ", \"host_huge\": " << r.alignment.host_huge
+        << ", \"bookings_started\": " << r.counters.bookings_started
+        << ", \"bookings_expired\": " << r.counters.bookings_expired
+        << ", \"bucket_hits\": " << r.counters.bucket_hits
+        << ", \"demotions\": " << r.counters.demotions
         << ", \"busy_cycles\": " << r.busy_cycles
         << ", \"wall_ms\": " << rows[i].wall_ms
         << ", \"seed\": " << rows[i].seed << '}'

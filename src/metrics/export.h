@@ -18,6 +18,10 @@
 //   well_aligned_rate | number | well-aligned huge pages / guest huge, 0..1
 //   guest_huge        | int    | guest huge pages at end of run
 //   host_huge         | int    | host (EPT) huge pages at end of run
+//   bookings_started  | int    | booking reservations made (both layers)
+//   bookings_expired  | int    | bookings lost to timeout (both layers)
+//   bucket_hits       | int    | huge-bucket regions reused by placement
+//   demotions         | int    | huge mappings demoted (both layers)
 //   busy_cycles       | int    | simulated cycles of the measured phase
 //   wall_ms           | number | host wall-clock of the cell, milliseconds
 //   seed              | int    | BedOptions::seed that produced the cell
@@ -49,8 +53,8 @@ struct ResultRow {
 
 // Renders rows as CSV with a fixed header:
 // workload,system,throughput,mean_latency,p99_latency,tlb_misses,
-// tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,busy_cycles,
-// wall_ms,seed
+// tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,bookings_started,
+// bookings_expired,bucket_hits,demotions,busy_cycles,wall_ms,seed
 std::string ToCsv(const std::vector<ResultRow>& rows);
 
 // Renders rows as a JSON array of objects with the same fields.

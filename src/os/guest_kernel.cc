@@ -94,6 +94,10 @@ base::Cycles GuestKernel::AfterFramesWritten(uint64_t frame,
 
 void GuestKernel::ShootdownRegion(uint64_t region) {
   hooks_->ShootdownGuestRange(vm_id_, region << kHugeOrder, kPagesPerHuge);
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kShootdown, layer_, vm_id_,
+                  region << kHugeOrder, kPagesPerHuge);
+  }
 }
 
 }  // namespace osim

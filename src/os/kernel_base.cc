@@ -28,6 +28,8 @@ KernelBase::KernelBase(base::Layer layer, int32_t vm_id,
 
 KernelBase::~KernelBase() = default;
 
+void KernelBase::AttachTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
 double KernelBase::Fmfi() const { return buddy_->Fmfi(kHugeOrder); }
 
 void KernelBase::ChargeOverhead(base::Cycles cycles) {
@@ -104,6 +106,9 @@ void KernelBase::PromoteInPlace(uint64_t region) {
   table_.PromoteInPlace(region);
   ChargeOverhead(costs_.promote_in_place);
   ++stats_.promotions_in_place;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kPromoteInPlace, layer_, vm_id_, region);
+  }
   // Frames are unchanged, so stale base-granularity TLB entries still
   // translate correctly; no shootdown is required (they age out and are
   // replaced by one 2 MiB entry on the next miss).
@@ -126,6 +131,7 @@ bool KernelBase::PromoteWithMigration(uint64_t region, uint64_t target_frame) {
   }
   frames_->SetUse(frame, kPagesPerHuge, vm_id_, vmem::FrameUse::kAnonymous);
 
+  uint64_t copied = 0;
   if (table_.PresentBasePages(region) == 0) {
     // Nothing to migrate; this degenerates to a fresh huge mapping.
     table_.MapHuge(region, frame);
@@ -142,12 +148,17 @@ bool KernelBase::PromoteWithMigration(uint64_t region, uint64_t target_frame) {
       buddy_->Free(old_frame, 1);
     }
     stats_.pages_copied += old_pages.size();
+    copied = old_pages.size();
     ChargeOverhead(costs_.copy_page * old_pages.size() +
                    costs_.tlb_shootdown + costs_.promote_in_place +
                    AfterFramesWritten(frame, kPagesPerHuge));
     ShootdownRegion(region);
   }
   ++stats_.promotions_migrated;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kPromoteMigrate, layer_, vm_id_, region,
+                  frame, copied);
+  }
   return true;
 }
 
@@ -155,6 +166,9 @@ void KernelBase::Demote(uint64_t region) {
   table_.Demote(region);
   ChargeOverhead(costs_.promote_in_place);
   ++stats_.demotions;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kDemote, layer_, vm_id_, region);
+  }
   // Same frames at finer granularity; a stale 2 MiB TLB entry would be
   // incorrect only if pages are subsequently remapped, which is always
   // preceded by a shootdown — but drop it eagerly for strictness.

@@ -19,6 +19,7 @@
 #include "os/cost_model.h"
 #include "os/hooks.h"
 #include "policy/policy.h"
+#include "trace/tracer.h"
 #include "vmem/buddy_allocator.h"
 #include "vmem/frame_space.h"
 
@@ -63,6 +64,7 @@ class KernelBase : public policy::KernelOps {
   void Demote(uint64_t region) override;
   uint64_t DrainTlbMisses() override;
   base::Cycles Now() const override { return hooks_->Now(); }
+  trace::Tracer* tracer() const override { return tracer_; }
 
   // --- Kernel surface -----------------------------------------------------
   void DaemonTick() { policy_->OnDaemonTick(*this); }
@@ -83,6 +85,11 @@ class KernelBase : public policy::KernelOps {
   const KernelStats& stats() const { return stats_; }
   const CostModel& costs() const { return costs_; }
   MachineHooks& hooks() { return *hooks_; }
+
+  // Wires this kernel to the machine's tracer.  The machine tags the
+  // kernel's buddy allocator separately (the host buddy is shared by every
+  // VM and carries vm_id -1).
+  void AttachTracer(trace::Tracer* tracer);
 
  protected:
   // Common demand-fault path.  `region_coverable` says whether a huge
@@ -119,6 +126,7 @@ class KernelBase : public policy::KernelOps {
   vmem::FrameSpace* frames_;
   CostModel costs_;
   MachineHooks* hooks_;
+  trace::Tracer* tracer_ = nullptr;
   std::unique_ptr<policy::HugePagePolicy> policy_;
   mmu::PageTable table_;
   KernelStats stats_;

@@ -12,6 +12,9 @@ Machine::Machine(const MachineConfig& config)
       next_daemon_(config.daemon_period) {
   host_fragmenter_ = std::make_unique<vmem::Fragmenter>(
       &host_.buddy(), &host_.frames(), config_.seed ^ 0x9e3779b9ull);
+  tracer_.SetClock(&logical_now_);
+  // The host buddy is shared by every VM; its events carry vm_id -1.
+  host_.buddy().SetTracer(&tracer_, base::Layer::kHost, -1);
 }
 
 Machine::~Machine() = default;
@@ -27,6 +30,10 @@ VirtualMachine& Machine::AddVm(
       config_.seed * 131 + static_cast<uint64_t>(id) * 31 + 7);
   vms_.push_back(std::make_unique<VirtualMachine>(id, std::move(guest),
                                                   &slice, config_.engine));
+  VirtualMachine& vm = *vms_.back();
+  vm.guest().AttachTracer(&tracer_);
+  vm.guest().buddy().SetTracer(&tracer_, base::Layer::kGuest, id);
+  vm.host_slice().AttachTracer(&tracer_);
   guest_fragmenters_.push_back(std::make_unique<vmem::Fragmenter>(
       &vms_.back()->guest().buddy(), &vms_.back()->guest().gpa_frames(),
       config_.seed + static_cast<uint64_t>(id) * 7919));
@@ -68,8 +75,16 @@ void Machine::RunDueDaemons() {
     if (next_event > now_) {
       break;
     }
+    // Daemons and tasks observe the boundary they fire at, never the raw
+    // clock: a coarse access batch that overshoots the boundary must look
+    // identical to many fine-grained batches reaching it exactly.
+    logical_now_ = next_event;
     if (next_daemon_ == next_event) {
       for (auto& vm : vms_) {
+        if (tracer_.enabled()) {
+          tracer_.Emit(trace::EventKind::kDaemonTick, base::Layer::kGuest,
+                       vm->id(), next_event / config_.daemon_period);
+        }
         vm->guest().DaemonTick();
         vm->host_slice().DaemonTick();
       }
@@ -82,6 +97,7 @@ void Machine::RunDueDaemons() {
       }
     }
   }
+  logical_now_ = now_;
 }
 
 double Machine::FragmentHostMemory(double target_fmfi) {

@@ -16,6 +16,7 @@
 #include "os/hooks.h"
 #include "os/host_kernel.h"
 #include "os/virtual_machine.h"
+#include "trace/tracer.h"
 #include "vmem/fragmenter.h"
 
 namespace osim {
@@ -57,6 +58,11 @@ class Machine final : public MachineHooks {
   HostKernel& host() { return host_; }
   const MachineConfig& config() const { return config_; }
 
+  // The machine-wide event tracer.  Disabled (zero-cost) until a caller
+  // enables it; every kernel and allocator in the stack is pre-wired to it.
+  trace::Tracer& tracer() { return tracer_; }
+  const trace::Tracer& tracer() const { return tracer_; }
+
   // One data access by the workload in `vm_id`, including `work_cycles` of
   // the workload's own compute.  Advances the clock and runs due daemons.
   VirtualMachine::AccessResult Access(int32_t vm_id, uint64_t vpn,
@@ -77,13 +83,20 @@ class Machine final : public MachineHooks {
                                  uint64_t count) override;
   void FlushVmTranslations(int32_t vm_id) override;
   uint64_t VmTlbMisses(int32_t vm_id) const override;
-  base::Cycles Now() const override { return now_; }
+  // Logical time: equal to the raw clock between accesses, but pinned to
+  // the period boundary while a daemon or periodic task runs.  A batched
+  // access that overshoots a boundary therefore cannot leak the overshoot
+  // into daemon decisions, keeping runs with different access batching
+  // byte-identical.
+  base::Cycles Now() const override { return logical_now_; }
 
  private:
   void RunDueDaemons();
 
   MachineConfig config_;
   base::Cycles now_ = 0;
+  base::Cycles logical_now_ = 0;
+  trace::Tracer tracer_;
   HostKernel host_;
   std::vector<std::unique_ptr<VirtualMachine>> vms_;
   std::vector<std::unique_ptr<vmem::Fragmenter>> guest_fragmenters_;

@@ -24,6 +24,10 @@
 #include "vmem/buddy_allocator.h"
 #include "vmem/frame_space.h"
 
+namespace trace {
+class Tracer;
+}  // namespace trace
+
 namespace policy {
 
 // What the kernel should do for a faulting page.
@@ -96,6 +100,28 @@ class KernelOps {
 
   // Cycle-cost constants of this kernel (for charging scan/promotion work).
   virtual const osim::CostModel& costs() const = 0;
+
+  // The machine's tracer, for policy-owned components (bookings, buckets)
+  // to emit tracepoints through.  Null when the kernel has no machine
+  // (unit tests) — and emission is a no-op unless tracing is enabled.
+  virtual trace::Tracer* tracer() const { return nullptr; }
+};
+
+// Mechanism counters and gauges a policy exposes for observability: the
+// per-run aggregate view (metrics::StackSnapshot) and the trace sampler's
+// time series both read this one struct, so the two views are computed
+// from the same registry and can never disagree.  Counters are cumulative
+// since policy creation; gauges are instantaneous.
+struct PolicyTelemetry {
+  uint64_t bookings_started = 0;   // successful BookingManager::Book calls
+  uint64_t bookings_assigned = 0;  // bookings consumed by an allocation
+  uint64_t bookings_expired = 0;   // bookings lost to timeout
+  uint64_t bookings_active = 0;    // gauge: regions booked right now
+  uint64_t bucket_deposits = 0;    // regions retained by the huge bucket
+  uint64_t bucket_hits = 0;        // retained regions reused whole
+  uint64_t bucket_evictions = 0;   // retention expiry + pressure releases
+  uint64_t bucket_held = 0;        // gauge: regions held right now
+  base::Cycles booking_timeout = 0;  // gauge: effective timeout (Algorithm 1)
 };
 
 class HugePagePolicy {
@@ -139,6 +165,10 @@ class HugePagePolicy {
   // so that well-aligned ones survive pressure.
   virtual std::vector<uint64_t> RankHugeDemotionVictims(KernelOps& kernel,
                                                         size_t max_victims);
+
+  // Observability counters/gauges (see PolicyTelemetry).  Baselines with no
+  // booking/bucket machinery report zeros.
+  virtual PolicyTelemetry Telemetry() const { return {}; }
 };
 
 // True when the layer has enough free memory that creating another huge

@@ -1,0 +1,108 @@
+#include "trace/perfetto.h"
+
+#include <set>
+#include <sstream>
+
+namespace trace {
+
+namespace {
+
+int Pid(int32_t vm_id) { return static_cast<int>(vm_id) + 2; }
+
+int Tid(base::Layer layer) { return layer == base::Layer::kGuest ? 1 : 2; }
+
+void AppendMetadata(std::ostringstream& out, const char* what, int pid,
+                    int tid, const std::string& name) {
+  out << "  {\"name\": \"" << what << "\", \"ph\": \"M\", \"pid\": " << pid;
+  if (tid >= 0) {
+    out << ", \"tid\": " << tid;
+  }
+  out << ", \"args\": {\"name\": \"" << name << "\"}},\n";
+}
+
+void AppendEvent(std::ostringstream& out, const Event& e) {
+  out << "  {\"name\": \"" << EventName(e.kind) << "\", \"ph\": \"i\", "
+      << "\"s\": \"t\", \"ts\": " << e.ts << ", \"pid\": " << Pid(e.vm_id)
+      << ", \"tid\": " << Tid(e.layer) << ", \"args\": {";
+  const ArgNames names = EventArgNames(e.kind);
+  bool first = true;
+  const char* arg_names[3] = {names.a, names.b, names.c};
+  const uint64_t arg_values[3] = {e.a, e.b, e.c};
+  for (int i = 0; i < 3; ++i) {
+    if (arg_names[i][0] == '\0') {
+      continue;
+    }
+    if (!first) {
+      out << ", ";
+    }
+    out << '"' << arg_names[i] << "\": " << arg_values[i];
+    first = false;
+  }
+  out << "}},\n";
+}
+
+void AppendCounter(std::ostringstream& out, const char* name, int pid,
+                   base::Cycles ts, const std::string& args) {
+  out << "  {\"name\": \"" << name << "\", \"ph\": \"C\", \"ts\": " << ts
+      << ", \"pid\": " << pid << ", \"args\": {" << args << "}},\n";
+}
+
+}  // namespace
+
+std::string PerfettoTraceJson(const Tracer& tracer,
+                              const StackSampler* sampler) {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [\n";
+
+  // Name every process/thread that will appear.
+  std::set<int32_t> vms;
+  tracer.ForEach([&](const Event& e) { vms.insert(e.vm_id); });
+  if (sampler != nullptr) {
+    for (const SamplePoint& p : sampler->samples()) {
+      vms.insert(p.vm_id);
+    }
+  }
+  for (int32_t vm : vms) {
+    const std::string name =
+        vm < 0 ? "host (shared)" : "vm" + std::to_string(vm);
+    AppendMetadata(out, "process_name", Pid(vm), -1, name);
+    AppendMetadata(out, "thread_name", Pid(vm), 1, "guest");
+    AppendMetadata(out, "thread_name", Pid(vm), 2, "host");
+  }
+
+  tracer.ForEach([&](const Event& e) { AppendEvent(out, e); });
+
+  if (sampler != nullptr) {
+    for (const SamplePoint& p : sampler->samples()) {
+      const int pid = Pid(p.vm_id);
+      std::ostringstream cov;
+      cov << "\"guest\": " << p.guest_coverage
+          << ", \"host\": " << p.host_coverage;
+      AppendCounter(out, "huge_coverage", pid, p.ts, cov.str());
+      std::ostringstream fmfi;
+      fmfi << "\"guest\": " << p.guest_fmfi << ", \"host\": " << p.host_fmfi;
+      AppendCounter(out, "fmfi", pid, p.ts, fmfi.str());
+      std::ostringstream booking;
+      booking << "\"timeout_cycles\": " << p.booking_timeout
+              << ", \"active\": " << p.bookings_active;
+      AppendCounter(out, "booking", pid, p.ts, booking.str());
+      std::ostringstream bucket;
+      bucket << "\"held\": " << p.bucket_held;
+      AppendCounter(out, "bucket", pid, p.ts, bucket.str());
+      std::ostringstream miss;
+      miss << "\"rate\": " << p.tlb_miss_rate;
+      AppendCounter(out, "tlb_miss_rate", pid, p.ts, miss.str());
+    }
+  }
+
+  // A no-op metadata event closes the array without trailing-comma logic.
+  out << "  {\"name\": \"trace_end\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {}}\n";
+  out << "],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {"
+      << "\"clock\": \"simulated_cycles\", \"emitted\": " << tracer.emitted()
+      << ", \"dropped\": " << tracer.dropped()
+      << ", \"retained\": " << tracer.size() << "}}\n";
+  return out.str();
+}
+
+}  // namespace trace

@@ -1,0 +1,32 @@
+// Renders a Tracer's ring plus a StackSampler's series as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing.
+//
+// Mapping:
+//  * Timestamps are simulated cycles written into the `ts` field.  The
+//    viewers display them as microseconds; treat the axis as "cycles".
+//  * Each VM is a process (pid = vm_id + 2, named "vm<id>"); events from
+//    the shared host buddy (vm_id -1) land in pid 1, "host (shared)".
+//  * Layers are threads inside the process: tid 1 = guest, tid 2 = host.
+//  * Tracepoints become instant events (ph "i") named by EventName() with
+//    args named by EventArgNames(); sampler series become counter tracks
+//    (ph "C") so coverage/FMFI/timeout plot directly over the events.
+//  * The top-level object carries {"emitted", "dropped", "retained"} under
+//    "otherData" so a truncated ring is visible in the artifact itself.
+#ifndef SRC_TRACE_PERFETTO_H_
+#define SRC_TRACE_PERFETTO_H_
+
+#include <string>
+
+#include "trace/sampler.h"
+#include "trace/tracer.h"
+
+namespace trace {
+
+// `sampler` may be null (event-only trace).
+std::string PerfettoTraceJson(const Tracer& tracer,
+                              const StackSampler* sampler);
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_PERFETTO_H_

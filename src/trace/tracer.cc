@@ -1,0 +1,112 @@
+#include "trace/tracer.h"
+
+#include "base/check.h"
+
+namespace trace {
+
+const char* EventName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBuddySplit:
+      return "buddy_split";
+    case EventKind::kBuddyMerge:
+      return "buddy_merge";
+    case EventKind::kBuddyAllocAt:
+      return "buddy_alloc_at";
+    case EventKind::kPromoteInPlace:
+      return "promote_in_place";
+    case EventKind::kPromoteMigrate:
+      return "promote_migrate";
+    case EventKind::kDemote:
+      return "demote";
+    case EventKind::kShootdown:
+      return "tlb_shootdown";
+    case EventKind::kBookingBook:
+      return "booking_book";
+    case EventKind::kBookingAssign:
+      return "booking_assign";
+    case EventKind::kBookingExpire:
+      return "booking_expire";
+    case EventKind::kTimeoutChange:
+      return "booking_timeout_change";
+    case EventKind::kBucketDeposit:
+      return "bucket_deposit";
+    case EventKind::kBucketTake:
+      return "bucket_take";
+    case EventKind::kBucketEvict:
+      return "bucket_evict";
+    case EventKind::kDaemonTick:
+      return "daemon_tick";
+  }
+  return "unknown";
+}
+
+ArgNames EventArgNames(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBuddySplit:
+      return {"frame", "order_found", "order_requested"};
+    case EventKind::kBuddyMerge:
+      return {"frame", "order_freed", "order_merged"};
+    case EventKind::kBuddyAllocAt:
+      return {"frame", "count", ""};
+    case EventKind::kPromoteInPlace:
+      return {"region", "", ""};
+    case EventKind::kPromoteMigrate:
+      return {"region", "frame", "pages_copied"};
+    case EventKind::kDemote:
+      return {"region", "", ""};
+    case EventKind::kShootdown:
+      return {"page", "count", ""};
+    case EventKind::kBookingBook:
+      return {"frame", "deadline_cycles", ""};
+    case EventKind::kBookingAssign:
+      return {"frame", "", ""};
+    case EventKind::kBookingExpire:
+      return {"frame", "", ""};
+    case EventKind::kTimeoutChange:
+      return {"timeout_cycles", "previous_cycles", ""};
+    case EventKind::kBucketDeposit:
+      return {"frame", "deadline_cycles", ""};
+    case EventKind::kBucketTake:
+      return {"frame", "", ""};
+    case EventKind::kBucketEvict:
+      return {"frame", "", ""};
+    case EventKind::kDaemonTick:
+      return {"tick", "", ""};
+  }
+  return {"", "", ""};
+}
+
+void Tracer::Enable(size_t capacity) {
+  SIM_CHECK(capacity >= 1);
+  ring_.clear();
+  ring_.shrink_to_fit();
+  ring_.reserve(capacity);
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+  enabled_ = true;
+}
+
+void Tracer::Record(EventKind kind, base::Layer layer, int32_t vm_id,
+                    uint64_t a, uint64_t b, uint64_t c) {
+  Event event;
+  event.ts = clock_ != nullptr ? *clock_ : 0;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  event.kind = kind;
+  event.layer = layer;
+  event.vm_id = static_cast<int16_t>(vm_id);
+  if (ring_.size() < ring_.capacity()) {
+    ring_.push_back(event);
+    ++count_;
+    head_ = ring_.size() % ring_.capacity();
+  } else {
+    // Ring full: overwrite the oldest event and account for the loss.
+    ring_[head_] = event;
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  }
+}
+
+}  // namespace trace

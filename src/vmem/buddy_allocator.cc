@@ -37,6 +37,7 @@ void BuddyAllocator::RemoveFreeBlock(uint64_t head, int order) {
 }
 
 void BuddyAllocator::FreeBlock(uint64_t head, int order) {
+  const int freed_order = order;
   // Merge with the buddy chain while the buddy block is free and whole.
   while (order < kMaxOrder - 1) {
     const uint64_t size = 1ull << order;
@@ -53,6 +54,11 @@ void BuddyAllocator::FreeBlock(uint64_t head, int order) {
     ++order;
   }
   InsertFreeBlock(head, order);
+  if (tracer_ != nullptr && order != freed_order) {
+    tracer_->Emit(trace::EventKind::kBuddyMerge, trace_layer_, trace_vm_, head,
+                  static_cast<uint64_t>(freed_order),
+                  static_cast<uint64_t>(order));
+  }
 }
 
 void BuddyAllocator::InsertFreeRange(uint64_t lo, uint64_t hi) {
@@ -98,6 +104,10 @@ uint64_t BuddyAllocator::Allocate(int order) {
   for (int o = found; o > order; --o) {
     const uint64_t half = 1ull << (o - 1);
     InsertFreeBlock(head + half, o - 1);
+  }
+  if (tracer_ != nullptr && found != order) {
+    tracer_->Emit(trace::EventKind::kBuddySplit, trace_layer_, trace_vm_, head,
+                  static_cast<uint64_t>(found), static_cast<uint64_t>(order));
   }
   return head;
 }
@@ -155,6 +165,10 @@ bool BuddyAllocator::AllocateAt(uint64_t frame, uint64_t count) {
       InsertFreeRange(end, block_end);
     }
     cursor = block_end;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Emit(trace::EventKind::kBuddyAllocAt, trace_layer_, trace_vm_,
+                  frame, count);
   }
   return true;
 }

@@ -26,6 +26,7 @@
 
 #include "base/rng.h"
 #include "base/types.h"
+#include "trace/tracer.h"
 #include "vmem/frame_space.h"
 
 namespace vmem {
@@ -86,6 +87,15 @@ class BuddyAllocator {
   // detection for cached views (the contiguity list).
   uint64_t mutation_epoch() const { return mutation_epoch_; }
 
+  // Attaches the machine's tracer so split/merge/targeted-allocation
+  // tracepoints are emitted, tagged with this allocator's layer and VM.
+  // Null (the default) keeps the allocator silent.
+  void SetTracer(trace::Tracer* tracer, base::Layer layer, int32_t vm_id) {
+    tracer_ = tracer;
+    trace_layer_ = layer;
+    trace_vm_ = vm_id;
+  }
+
   // Visits each free block as (first_frame, order), in address order.
   template <typename Fn>
   void ForEachFreeBlock(Fn&& fn) const {
@@ -114,6 +124,9 @@ class BuddyAllocator {
   uint64_t frame_count_;
   uint64_t free_frames_ = 0;
   uint64_t mutation_epoch_ = 0;
+  trace::Tracer* tracer_ = nullptr;
+  base::Layer trace_layer_ = base::Layer::kGuest;
+  int32_t trace_vm_ = -1;
   bool randomize_ = false;
   base::Rng rng_;
   // head frame -> order, for every free block.  Address-ordered.

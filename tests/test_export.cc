@@ -21,6 +21,10 @@ workload::RunResult SampleResult() {
   r.alignment.guest_huge = 7;
   r.alignment.host_huge = 9;
   r.alignment.well_aligned_rate = 0.875;
+  r.counters.bookings_started = 11;
+  r.counters.bookings_expired = 3;
+  r.counters.bucket_hits = 5;
+  r.counters.demotions = 2;
   r.busy_cycles = 123456;
   return r;
 }
@@ -30,8 +34,9 @@ TEST(Export, CsvHasHeaderAndRow) {
   const std::string csv =
       metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
   EXPECT_NE(csv.find("workload,system,throughput"), std::string::npos);
-  EXPECT_NE(csv.find("Redis,Gemini,1.5,1000,2000,42,0.25,0.875,7,9,123456"),
-            std::string::npos);
+  EXPECT_NE(
+      csv.find("Redis,Gemini,1.5,1000,2000,42,0.25,0.875,7,9,11,3,5,2,123456"),
+      std::string::npos);
 }
 
 TEST(Export, CsvCarriesWallTimeAndSeedColumns) {
@@ -85,6 +90,21 @@ TEST(Export, JsonEscapesControlCharactersInWorkloadNames) {
   EXPECT_NE(json.find("tab\\u0009here\\u000anewline"), std::string::npos);
   // The raw control characters must not survive into the output value.
   EXPECT_EQ(json.find("tab\there"), std::string::npos);
+}
+
+TEST(Export, CarriesMechanismCounters) {
+  const auto r = SampleResult();
+  const std::string csv =
+      metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(csv.find("bookings_started,bookings_expired,bucket_hits,"
+                     "demotions,busy_cycles"),
+            std::string::npos);
+  const std::string json =
+      metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(json.find("\"bookings_started\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"bookings_expired\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_hits\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"demotions\": 2"), std::string::npos);
 }
 
 TEST(Export, JsonCarriesWallTimeAndSeed) {
