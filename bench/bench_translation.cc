@@ -1,0 +1,177 @@
+// Microbenchmark for the translation hot path (engineering benchmark, not
+// a paper figure): measures raw TranslationEngine::Translate throughput in
+// three regimes and writes BENCH_translation.json for regression tracking.
+//
+//   hit_heavy        TLB-resident working set; nearly every access takes
+//                    the O(1) generation-compare fast path.
+//   miss_heavy       Working set far beyond TLB reach; dominated by nested
+//                    walks and TLB fills.
+//   churn_revalidate Periodic in-place promotions/demotions between access
+//                    bursts; exercises the generation-mismatch slow path
+//                    (re-derive, then restamp or drop).
+//
+// The simulated side is deterministic: same seed, same access sequence,
+// same frame checksum and TLB counters on every run and at any optimization
+// level.  Only wall_ms and mops_per_s are host-performance numbers.
+//
+// Output: BENCH_translation.json in $GEMINI_EXPORT (if set) or the current
+// directory — an array of one object per scenario:
+//   {scenario, ops, wall_ms, mops_per_s, tlb_hits, tlb_misses, stale_hits,
+//    checksum}
+// Schema documented in BENCHMARKS.md.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "metrics/export.h"
+#include "mmu/page_table.h"
+#include "mmu/translation_engine.h"
+
+namespace {
+
+using base::kHugeOrder;
+using base::kPagesPerHuge;
+using mmu::PageTable;
+using mmu::TranslateStatus;
+using mmu::TranslationEngine;
+
+struct ScenarioResult {
+  std::string scenario;
+  uint64_t ops = 0;
+  double wall_ms = 0.0;
+  uint64_t tlb_hits = 0;
+  uint64_t tlb_misses = 0;
+  uint64_t stale_hits = 0;
+  uint64_t checksum = 0;  // deterministic digest of translated frames
+};
+
+TranslationEngine::Config EngineConfig() {
+  // Paper-sized TLB (128 x 12): the same geometry the figure benches use.
+  return TranslationEngine::Config{};
+}
+
+// Maps `regions` huge regions at both layers: even regions as well-aligned
+// huge pairs, odd regions as base/base — a mix that populates both TLB entry
+// sizes.
+void BuildLayout(PageTable& guest, PageTable& ept, uint64_t regions) {
+  for (uint64_t r = 0; r < regions; ++r) {
+    const uint64_t gpa_block = r * kPagesPerHuge;
+    const uint64_t hpa_block = (regions + r) * kPagesPerHuge;
+    if (r % 2 == 0) {
+      guest.MapHuge(r, gpa_block);
+      ept.MapHuge(r, hpa_block);
+    } else {
+      for (uint64_t s = 0; s < kPagesPerHuge; ++s) {
+        guest.MapBase((r << kHugeOrder) + s, gpa_block + s);
+        ept.MapBase(gpa_block + s, hpa_block + s);
+      }
+    }
+  }
+}
+
+ScenarioResult RunScenario(const std::string& name, uint64_t regions,
+                           uint64_t ops, uint64_t churn_period) {
+  PageTable guest;
+  PageTable ept;
+  BuildLayout(guest, ept, regions);
+  TranslationEngine engine(EngineConfig(), &guest, &ept);
+
+  base::Rng rng(42);
+  const uint64_t span = regions << kHugeOrder;
+  uint64_t checksum = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < ops; ++i) {
+    if (churn_period != 0 && i % churn_period == churn_period - 1) {
+      // Demote and re-promote a well-aligned region in place: frames are
+      // unchanged, so cached entries stay correct but their generation
+      // stamps go stale — the next access must re-derive and restamp.
+      const uint64_t r = rng.NextBelow(regions / 2) * 2;
+      guest.Demote(r);
+      ept.Demote(r);
+      guest.PromoteInPlace(r);
+      ept.PromoteInPlace(r);
+    }
+    const uint64_t vpn = rng.NextBelow(span);
+    const auto t = engine.Translate(vpn);
+    if (t.status == TranslateStatus::kOk) {
+      checksum = checksum * 1099511628211ull + t.frame;
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  ScenarioResult res;
+  res.scenario = name;
+  res.ops = ops;
+  res.wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          end - start)
+          .count();
+  res.tlb_hits = engine.tlb().hits();
+  res.tlb_misses = engine.tlb().misses();
+  res.stale_hits = engine.tlb().stale_drops();
+  res.checksum = checksum;
+  return res;
+}
+
+std::string ToJson(const std::vector<ScenarioResult>& results) {
+  std::ostringstream out;
+  out << "[\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    const double mops =
+        r.wall_ms > 0.0 ? static_cast<double>(r.ops) / (r.wall_ms * 1000.0)
+                        : 0.0;
+    out << "  {\"scenario\": \"" << r.scenario << "\", \"ops\": " << r.ops
+        << ", \"wall_ms\": " << r.wall_ms << ", \"mops_per_s\": " << mops
+        << ", \"tlb_hits\": " << r.tlb_hits
+        << ", \"tlb_misses\": " << r.tlb_misses
+        << ", \"stale_hits\": " << r.stale_hits
+        << ", \"checksum\": " << r.checksum << '}'
+        << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  std::vector<ScenarioResult> results;
+  // 4 regions = 2 huge entries + 1024 base entries: fully TLB-resident at
+  // 128x12, so after warm-up every access is a fast-path hit.
+  results.push_back(RunScenario("hit_heavy", 4, 1ull << 24, 0));
+  // 4096 regions ≈ 2M pages: every access is effectively a cold probe.
+  results.push_back(RunScenario("miss_heavy", 4096, 1ull << 22, 0));
+  // TLB-resident layout with an in-place demote/promote cycle every 4K
+  // accesses: stresses generation-mismatch revalidation.
+  results.push_back(RunScenario("churn_revalidate", 4, 1ull << 23, 4096));
+
+  for (const ScenarioResult& r : results) {
+    const double mops =
+        r.wall_ms > 0.0 ? static_cast<double>(r.ops) / (r.wall_ms * 1000.0)
+                        : 0.0;
+    std::printf(
+        "%-18s %10llu ops  %9.1f ms  %7.2f Mops/s  hits %llu  misses %llu  "
+        "stale %llu  checksum %llu\n",
+        r.scenario.c_str(), static_cast<unsigned long long>(r.ops), r.wall_ms,
+        mops, static_cast<unsigned long long>(r.tlb_hits),
+        static_cast<unsigned long long>(r.tlb_misses),
+        static_cast<unsigned long long>(r.stale_hits),
+        static_cast<unsigned long long>(r.checksum));
+  }
+
+  const char* dir = std::getenv("GEMINI_EXPORT");
+  const std::string path =
+      (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : "") +
+      "BENCH_translation.json";
+  metrics::WriteFile(path, ToJson(results));
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

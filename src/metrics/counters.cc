@@ -6,6 +6,7 @@ StackSnapshot StackSnapshot::Delta(const StackSnapshot& earlier) const {
   StackSnapshot d;
   d.tlb_hits = tlb_hits - earlier.tlb_hits;
   d.tlb_misses = tlb_misses - earlier.tlb_misses;
+  d.tlb_stale_hits = tlb_stale_hits - earlier.tlb_stale_hits;
   d.tlb_shootdowns = tlb_shootdowns - earlier.tlb_shootdowns;
   d.translation_cycles = translation_cycles - earlier.translation_cycles;
   d.guest_fault_cycles = guest_fault_cycles - earlier.guest_fault_cycles;
@@ -28,6 +29,7 @@ StackSnapshot Snapshot(osim::Machine& machine, int32_t vm_id) {
   osim::VirtualMachine& vm = machine.vm(vm_id);
   s.tlb_hits = vm.engine().tlb().hits();
   s.tlb_misses = vm.engine().tlb().misses();
+  s.tlb_stale_hits = vm.engine().tlb().stale_hits();
   s.tlb_shootdowns = vm.engine().tlb().shootdowns();
   s.translation_cycles = vm.engine().translation_cycles();
   const osim::KernelStats& g = vm.guest().stats();

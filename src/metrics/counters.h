@@ -13,6 +13,10 @@ namespace metrics {
 struct StackSnapshot {
   uint64_t tlb_hits = 0;
   uint64_t tlb_misses = 0;
+  // TLB hits reclassified as misses because the cached translation no
+  // longer matched the page tables (precise invalidation).  Already
+  // included in tlb_misses; this splits them out from cold/capacity misses.
+  uint64_t tlb_stale_hits = 0;
   uint64_t tlb_shootdowns = 0;
   base::Cycles translation_cycles = 0;
   base::Cycles guest_fault_cycles = 0;

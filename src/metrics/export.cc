@@ -55,7 +55,7 @@ std::string EscapeCsv(const std::string& s) {
 std::string ToCsv(const std::vector<ResultRow>& rows) {
   std::ostringstream out;
   out << "workload,system,throughput,mean_latency,p99_latency,tlb_misses,"
-         "tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,"
+         "stale_hits,tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,"
          "bookings_started,bookings_expired,bucket_hits,demotions,"
          "busy_cycles,wall_ms,seed\n";
   for (const ResultRow& row : rows) {
@@ -63,7 +63,8 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
     const workload::RunResult& r = *row.result;
     out << EscapeCsv(row.workload) << ',' << EscapeCsv(row.system) << ','
         << r.throughput << ',' << r.mean_latency << ',' << r.p99_latency
-        << ',' << r.tlb_misses << ',' << r.tlb_miss_rate << ','
+        << ',' << r.tlb_misses << ',' << r.counters.tlb_stale_hits << ','
+        << r.tlb_miss_rate << ','
         << r.alignment.well_aligned_rate << ',' << r.alignment.guest_huge
         << ',' << r.alignment.host_huge << ','
         << r.counters.bookings_started << ',' << r.counters.bookings_expired
@@ -86,6 +87,7 @@ std::string ToJson(const std::vector<ResultRow>& rows) {
         << ", \"mean_latency\": " << r.mean_latency
         << ", \"p99_latency\": " << r.p99_latency
         << ", \"tlb_misses\": " << r.tlb_misses
+        << ", \"stale_hits\": " << r.counters.tlb_stale_hits
         << ", \"tlb_miss_rate\": " << r.tlb_miss_rate
         << ", \"well_aligned_rate\": " << r.alignment.well_aligned_rate
         << ", \"guest_huge\": " << r.alignment.guest_huge

@@ -14,6 +14,9 @@
 //   mean_latency      | number | simulated cycles per request
 //   p99_latency       | number | simulated cycles, 99th percentile
 //   tlb_misses        | int    | count over the measured phase
+//   stale_hits        | int    | TLB hits reclassified as misses because the
+//                     |        | cached translation went stale (precise
+//                     |        | invalidation); subset of tlb_misses
 //   tlb_miss_rate     | number | misses / accesses, 0..1
 //   well_aligned_rate | number | well-aligned huge pages / guest huge, 0..1
 //   guest_huge        | int    | guest huge pages at end of run
@@ -52,7 +55,7 @@ struct ResultRow {
 };
 
 // Renders rows as CSV with a fixed header:
-// workload,system,throughput,mean_latency,p99_latency,tlb_misses,
+// workload,system,throughput,mean_latency,p99_latency,tlb_misses,stale_hits,
 // tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,bookings_started,
 // bookings_expired,bucket_hits,demotions,busy_cycles,wall_ms,seed
 std::string ToCsv(const std::vector<ResultRow>& rows);

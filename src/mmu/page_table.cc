@@ -6,19 +6,31 @@ namespace mmu {
 
 using base::kPagesPerHuge;
 
+void PageTable::Grow(uint64_t region) {
+  // Geometric growth keeps amortized slot creation O(1) even when the
+  // address space expands one VMA at a time (churn workloads).
+  uint64_t target = slots_.empty() ? 64 : slots_.size();
+  while (target <= region) {
+    target *= 2;
+  }
+  slots_.resize(target);
+}
+
 void PageTable::MapBase(uint64_t vpn, uint64_t frame) {
   const uint64_t region = vpn >> base::kHugeOrder;
   const uint32_t slot = static_cast<uint32_t>(vpn & (kPagesPerHuge - 1));
-  Entry& entry = regions_[region];
+  Slot& entry = SlotFor(region);
   SIM_CHECK_MSG(!entry.is_huge, "MapBase into huge-mapped region %llu",
                 static_cast<unsigned long long>(region));
   if (!entry.base) {
     entry.base = std::make_unique<BaseRegion>();
+    ++mapped_regions_;
   }
   SIM_CHECK_MSG(!entry.base->present[slot], "double map of vpn %llu",
                 static_cast<unsigned long long>(vpn));
   entry.base->frames[slot] = frame;
   entry.base->present[slot] = true;
+  ++entry.generation;
   ++mapped_base_pages_;
 }
 
@@ -26,50 +38,57 @@ void PageTable::MapHuge(uint64_t region, uint64_t frame) {
   SIM_CHECK_MSG(frame % kPagesPerHuge == 0,
                 "huge mapping target not huge-aligned: frame %llu",
                 static_cast<unsigned long long>(frame));
-  auto it = regions_.find(region);
-  SIM_CHECK_MSG(it == regions_.end() ||
-                    (!it->second.is_huge && it->second.base &&
-                     it->second.base->present.none()),
-                "MapHuge into non-empty region %llu",
+  Slot& entry = SlotFor(region);
+  SIM_CHECK_MSG(!entry.mapped(), "MapHuge into non-empty region %llu",
                 static_cast<unsigned long long>(region));
-  Entry& entry = regions_[region];
-  entry.base.reset();
   entry.is_huge = true;
   entry.huge_frame = frame;
+  ++entry.generation;
+  ++mapped_regions_;
   ++huge_leaves_;
 }
 
 uint64_t PageTable::UnmapBase(uint64_t vpn) {
   const uint64_t region = vpn >> base::kHugeOrder;
   const uint32_t slot = static_cast<uint32_t>(vpn & (kPagesPerHuge - 1));
-  auto it = regions_.find(region);
-  SIM_CHECK(it != regions_.end() && !it->second.is_huge && it->second.base);
-  BaseRegion& br = *it->second.base;
+  SIM_CHECK(region < slots_.size());
+  Slot& entry = slots_[region];
+  SIM_CHECK(!entry.is_huge && entry.base);
+  BaseRegion& br = *entry.base;
   SIM_CHECK(br.present[slot]);
   const uint64_t frame = br.frames[slot];
   br.present[slot] = false;
+  ++entry.generation;
   --mapped_base_pages_;
   if (br.present.none()) {
-    regions_.erase(it);
+    entry.base.reset();
+    --mapped_regions_;
   }
   return frame;
 }
 
 uint64_t PageTable::UnmapHuge(uint64_t region) {
-  auto it = regions_.find(region);
-  SIM_CHECK(it != regions_.end() && it->second.is_huge);
-  const uint64_t frame = it->second.huge_frame;
-  regions_.erase(it);
+  SIM_CHECK(region < slots_.size());
+  Slot& entry = slots_[region];
+  SIM_CHECK(entry.is_huge);
+  const uint64_t frame = entry.huge_frame;
+  entry.is_huge = false;
+  entry.huge_frame = 0;
+  ++entry.generation;
+  --mapped_regions_;
   --huge_leaves_;
   return frame;
 }
 
 bool PageTable::CanPromoteInPlace(uint64_t region) const {
-  auto it = regions_.find(region);
-  if (it == regions_.end() || it->second.is_huge || !it->second.base) {
+  if (region >= slots_.size()) {
     return false;
   }
-  const BaseRegion& br = *it->second.base;
+  const Slot& entry = slots_[region];
+  if (entry.is_huge || !entry.base) {
+    return false;
+  }
+  const BaseRegion& br = *entry.base;
   if (!br.present.all()) {
     return false;
   }
@@ -87,11 +106,12 @@ bool PageTable::CanPromoteInPlace(uint64_t region) const {
 
 void PageTable::PromoteInPlace(uint64_t region) {
   SIM_CHECK(CanPromoteInPlace(region));
-  auto it = regions_.find(region);
-  const uint64_t frame = it->second.base->frames[0];
-  it->second.base.reset();
-  it->second.is_huge = true;
-  it->second.huge_frame = frame;
+  Slot& entry = slots_[region];
+  const uint64_t frame = entry.base->frames[0];
+  entry.base.reset();
+  entry.is_huge = true;
+  entry.huge_frame = frame;
+  ++entry.generation;
   mapped_base_pages_ -= kPagesPerHuge;
   ++huge_leaves_;
 }
@@ -99,33 +119,38 @@ void PageTable::PromoteInPlace(uint64_t region) {
 std::vector<std::pair<uint32_t, uint64_t>> PageTable::PromoteWithMigration(
     uint64_t region, uint64_t new_frame) {
   SIM_CHECK(new_frame % kPagesPerHuge == 0);
-  auto it = regions_.find(region);
-  SIM_CHECK(it != regions_.end() && !it->second.is_huge && it->second.base);
+  SIM_CHECK(region < slots_.size());
+  Slot& entry = slots_[region];
+  SIM_CHECK(!entry.is_huge && entry.base);
   std::vector<std::pair<uint32_t, uint64_t>> old_pages;
-  const BaseRegion& br = *it->second.base;
+  const BaseRegion& br = *entry.base;
   for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
     if (br.present[slot]) {
       old_pages.emplace_back(slot, br.frames[slot]);
     }
   }
   mapped_base_pages_ -= old_pages.size();
-  it->second.base.reset();
-  it->second.is_huge = true;
-  it->second.huge_frame = new_frame;
+  entry.base.reset();
+  entry.is_huge = true;
+  entry.huge_frame = new_frame;
+  ++entry.generation;
   ++huge_leaves_;
   return old_pages;
 }
 
 void PageTable::Demote(uint64_t region) {
-  auto it = regions_.find(region);
-  SIM_CHECK(it != regions_.end() && it->second.is_huge);
-  const uint64_t frame = it->second.huge_frame;
-  it->second.is_huge = false;
-  it->second.base = std::make_unique<BaseRegion>();
+  SIM_CHECK(region < slots_.size());
+  Slot& entry = slots_[region];
+  SIM_CHECK(entry.is_huge);
+  const uint64_t frame = entry.huge_frame;
+  entry.is_huge = false;
+  entry.huge_frame = 0;
+  entry.base = std::make_unique<BaseRegion>();
   for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
-    it->second.base->frames[slot] = frame + slot;
-    it->second.base->present[slot] = true;
+    entry.base->frames[slot] = frame + slot;
+    entry.base->present[slot] = true;
   }
+  ++entry.generation;
   --huge_leaves_;
   mapped_base_pages_ += kPagesPerHuge;
 }
@@ -133,71 +158,65 @@ void PageTable::Demote(uint64_t region) {
 std::optional<Translation> PageTable::Lookup(uint64_t vpn) const {
   const uint64_t region = vpn >> base::kHugeOrder;
   const uint32_t slot = static_cast<uint32_t>(vpn & (kPagesPerHuge - 1));
-  auto it = regions_.find(region);
-  if (it == regions_.end()) {
+  if (region >= slots_.size()) {
     return std::nullopt;
   }
-  if (it->second.is_huge) {
-    return Translation{it->second.huge_frame + slot, base::PageSize::kHuge};
+  const Slot& entry = slots_[region];
+  if (entry.is_huge) {
+    return Translation{entry.huge_frame + slot, base::PageSize::kHuge};
   }
-  const BaseRegion& br = *it->second.base;
-  if (!br.present[slot]) {
+  if (!entry.base || !entry.base->present[slot]) {
     return std::nullopt;
   }
-  return Translation{br.frames[slot], base::PageSize::kBase};
+  return Translation{entry.base->frames[slot], base::PageSize::kBase};
 }
 
 bool PageTable::IsHugeMapped(uint64_t region) const {
-  auto it = regions_.find(region);
-  return it != regions_.end() && it->second.is_huge;
+  return region < slots_.size() && slots_[region].is_huge;
 }
 
 uint32_t PageTable::PresentBasePages(uint64_t region) const {
-  auto it = regions_.find(region);
-  if (it == regions_.end() || it->second.is_huge) {
+  if (region >= slots_.size()) {
     return 0;
   }
-  return static_cast<uint32_t>(it->second.base->present.count());
+  const Slot& entry = slots_[region];
+  if (entry.is_huge || !entry.base) {
+    return 0;
+  }
+  return static_cast<uint32_t>(entry.base->present.count());
 }
 
 std::optional<uint64_t> PageTable::BaseFrame(uint64_t region,
                                              uint32_t slot) const {
-  auto it = regions_.find(region);
-  if (it == regions_.end() || it->second.is_huge ||
-      !it->second.base->present[slot]) {
+  if (region >= slots_.size()) {
     return std::nullopt;
   }
-  return it->second.base->frames[slot];
-}
-
-uint64_t PageTable::AccessCount(uint64_t region) const {
-  auto it = regions_accessed_.find(region);
-  return it == regions_accessed_.end() ? 0 : it->second;
+  const Slot& entry = slots_[region];
+  if (entry.is_huge || !entry.base || !entry.base->present[slot]) {
+    return std::nullopt;
+  }
+  return entry.base->frames[slot];
 }
 
 void PageTable::DecayAccessCounts() {
-  for (auto it = regions_accessed_.begin(); it != regions_accessed_.end();) {
-    it->second >>= 1;
-    if (it->second == 0) {
-      it = regions_accessed_.erase(it);
-    } else {
-      ++it;
-    }
+  for (Slot& entry : slots_) {
+    entry.accesses >>= 1;
   }
 }
 
 void PageTable::ForEachHuge(
     const std::function<void(uint64_t, uint64_t)>& fn) const {
-  for (const auto& [region, entry] : regions_) {
-    if (entry.is_huge) {
-      fn(region, entry.huge_frame);
+  for (uint64_t region = 0; region < slots_.size(); ++region) {
+    if (slots_[region].is_huge) {
+      fn(region, slots_[region].huge_frame);
     }
   }
 }
 
 void PageTable::ForEachBaseRegion(
     const std::function<void(uint64_t, uint32_t)>& fn) const {
-  for (const auto& [region, entry] : regions_) {
+  for (uint64_t region = 0; region < slots_.size(); ++region) {
+    const Slot& entry = slots_[region];
     if (!entry.is_huge && entry.base) {
       fn(region, static_cast<uint32_t>(entry.base->present.count()));
     }
@@ -207,11 +226,14 @@ void PageTable::ForEachBaseRegion(
 void PageTable::ForEachBasePage(
     uint64_t region,
     const std::function<void(uint32_t, uint64_t)>& fn) const {
-  auto it = regions_.find(region);
-  if (it == regions_.end() || it->second.is_huge || !it->second.base) {
+  if (region >= slots_.size()) {
     return;
   }
-  const BaseRegion& br = *it->second.base;
+  const Slot& entry = slots_[region];
+  if (entry.is_huge || !entry.base) {
+    return;
+  }
+  const BaseRegion& br = *entry.base;
   for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
     if (br.present[slot]) {
       fn(slot, br.frames[slot]);
@@ -222,20 +244,22 @@ void PageTable::ForEachBasePage(
 void PageTable::CheckInvariants() const {
   uint64_t bases = 0;
   uint64_t huges = 0;
-  for (const auto& [region, entry] : regions_) {
-    (void)region;
+  uint64_t mapped = 0;
+  for (const Slot& entry : slots_) {
     if (entry.is_huge) {
       SIM_CHECK(!entry.base);
       SIM_CHECK(entry.huge_frame % kPagesPerHuge == 0);
       ++huges;
-    } else {
-      SIM_CHECK(entry.base != nullptr);
-      SIM_CHECK(entry.base->present.any());  // empty regions are erased
+      ++mapped;
+    } else if (entry.base) {
+      SIM_CHECK(entry.base->present.any());  // empty tables are released
       bases += entry.base->present.count();
+      ++mapped;
     }
   }
   SIM_CHECK(bases == mapped_base_pages_);
   SIM_CHECK(huges == huge_leaves_);
+  SIM_CHECK(mapped == mapped_regions_);
 }
 
 }  // namespace mmu

@@ -6,12 +6,26 @@
 //  * a guest process page table (GVA page number -> GFN), and
 //  * a VM page table / EPT (GFN -> host PFN).
 //
-// Internally the table is a map from huge-region index (page number >> 9)
-// to either a huge leaf or a 512-slot base-page table, which is exactly the
-// x86-64 PD/PT distinction that matters for the paper: a leaf at the PD
-// level (huge) vs. leaves at the PT level (base).  Upper directory levels
-// (PML4/PDPT) carry no alignment information and are modeled only in the
-// walk cost (see nested_walker.h).
+// Internally the table is a flat vector indexed by huge-region index (page
+// number >> 9) whose slots hold either a huge leaf or a 512-slot base-page
+// table, which is exactly the x86-64 PD/PT distinction that matters for
+// the paper: a leaf at the PD level (huge) vs. leaves at the PT level
+// (base).  Upper directory levels (PML4/PDPT) carry no alignment
+// information and are modeled only in the walk cost (see nested_walker.h).
+// The address spaces the simulator builds are dense (VMAs grow upward from
+// a fixed base, guest-physical space starts at 0), so direct indexing
+// makes every lookup, access bump, and generation read O(1).  The walker's
+// PrefixCache adds the matching MRU last-entry fast path for the
+// same-region probe streams the translation hot path issues.
+//
+// Each slot also carries a *generation counter*, bumped by every mapping
+// mutation that touches the region (map, unmap, promote, demote).  The
+// translation engine stamps TLB entries with the generations they were
+// filled under, which turns TLB-hit validation into a pure integer
+// compare — the software analogue of a precisely invalidated (INVLPG /
+// tagged INVEPT) TLB.  Generations survive region teardown: slots are
+// never recycled for a different region, so a stale TLB entry can never
+// alias a later remapping.
 //
 // The table also keeps a per-region access counter, bumped by the
 // translation engine on TLB misses.  Promotion policies (HawkEye's
@@ -23,7 +37,6 @@
 #include <bitset>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -100,10 +113,24 @@ class PageTable {
     return mapped_base_pages_ + huge_leaves_ * base::kPagesPerHuge;
   }
 
+  // --- Precise invalidation ----------------------------------------------
+
+  // Generation of a region's mapping state.  Every mutation that can change
+  // what Lookup returns for any page of the region (MapBase, MapHuge,
+  // UnmapBase, UnmapHuge, PromoteInPlace, PromoteWithMigration, Demote)
+  // bumps it; access-counter traffic does not.  Two equal reads bracket an
+  // interval in which every Lookup in the region was stable.  Never-touched
+  // regions report 0.
+  uint64_t generation(uint64_t region) const {
+    return region < slots_.size() ? slots_[region].generation : 0;
+  }
+
   // --- Access tracking ----------------------------------------------------
 
-  void BumpAccess(uint64_t region) { regions_accessed_[region] += 1; }
-  uint64_t AccessCount(uint64_t region) const;
+  void BumpAccess(uint64_t region) { SlotFor(region).accesses += 1; }
+  uint64_t AccessCount(uint64_t region) const {
+    return region < slots_.size() ? slots_[region].accesses : 0;
+  }
   void DecayAccessCounts();  // halves all counters (aging)
 
   // --- Iteration ----------------------------------------------------------
@@ -119,7 +146,7 @@ class PageTable {
       uint64_t region,
       const std::function<void(uint32_t, uint64_t)>& fn) const;
 
-  // Verifies counters against the map contents (tests).
+  // Verifies counters against the table contents (tests).
   void CheckInvariants() const;
 
  private:
@@ -127,17 +154,32 @@ class PageTable {
     std::array<uint64_t, base::kPagesPerHuge> frames;
     std::bitset<base::kPagesPerHuge> present;
   };
-  struct Entry {
-    // Exactly one of the two is active.
-    std::unique_ptr<BaseRegion> base;  // non-null => base table
+  struct Slot {
+    // At most one of the two is active: a non-null `base` is a base-page
+    // table, `is_huge` a huge leaf; neither means the region is unmapped.
+    // `generation` and `accesses` outlive the mapping itself.
+    std::unique_ptr<BaseRegion> base;
     uint64_t huge_frame = 0;
+    uint64_t generation = 0;
+    uint64_t accesses = 0;
     bool is_huge = false;
+
+    bool mapped() const { return is_huge || base != nullptr; }
   };
 
-  std::map<uint64_t, Entry> regions_;
-  std::map<uint64_t, uint64_t> regions_accessed_;
+  // Grows the vector to cover `region` and returns its slot.
+  Slot& SlotFor(uint64_t region) {
+    if (region >= slots_.size()) {
+      Grow(region);
+    }
+    return slots_[region];
+  }
+  void Grow(uint64_t region);
+
+  std::vector<Slot> slots_;  // indexed by region; never shrinks
   uint64_t mapped_base_pages_ = 0;
   uint64_t huge_leaves_ = 0;
+  uint64_t mapped_regions_ = 0;  // slots with mapped() == true
 };
 
 }  // namespace mmu

@@ -3,6 +3,11 @@
 namespace mmu {
 
 bool PrefixCache::Lookup(uint64_t prefix) {
+  // MRU fast path: walk streams probe the same prefix for long runs, and a
+  // hit on the list head needs neither the hash lookup nor a splice.
+  if (!lru_.empty() && lru_.front() == prefix) {
+    return true;
+  }
   auto it = index_.find(prefix);
   if (it == index_.end()) {
     return false;

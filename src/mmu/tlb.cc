@@ -29,15 +29,23 @@ Tlb::LookupResult Tlb::Lookup(uint64_t vpn) {
   if (Entry* e = FindEntry(region, base::PageSize::kHuge)) {
     e->lru_stamp = clock_;
     ++hits_;
-    return LookupResult{true, base::PageSize::kHuge, e->frame};
+    last_hit_ = e;
+    return LookupResult{true, base::PageSize::kHuge, e->frame, e->stamp};
   }
   if (Entry* e = FindEntry(vpn, base::PageSize::kBase)) {
     e->lru_stamp = clock_;
     ++hits_;
-    return LookupResult{true, base::PageSize::kBase, e->frame};
+    last_hit_ = e;
+    return LookupResult{true, base::PageSize::kBase, e->frame, e->stamp};
   }
   ++misses_;
+  last_hit_ = nullptr;
   return LookupResult{};
+}
+
+void Tlb::RestampHit(const Stamp& stamp) {
+  SIM_CHECK(last_hit_ != nullptr && last_hit_->valid);
+  last_hit_->stamp = stamp;
 }
 
 void Tlb::UncountFaultMiss() { --misses_; }
@@ -49,12 +57,18 @@ void Tlb::DiscountStaleHit() {
 }
 
 void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame) {
+  Insert(vpn, size, frame, Stamp{});
+}
+
+void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
+                 const Stamp& stamp) {
   ++clock_;
   const uint64_t key =
       size == base::PageSize::kHuge ? (vpn >> base::kHugeOrder) : vpn;
   if (Entry* existing = FindEntry(key, size)) {
     existing->lru_stamp = clock_;
     existing->frame = frame;
+    existing->stamp = stamp;
     return;
   }
   const uint32_t set = SetIndex(key);
@@ -74,6 +88,7 @@ void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame) {
   victim->tag = key;
   victim->size = size;
   victim->frame = frame;
+  victim->stamp = stamp;
   victim->lru_stamp = clock_;
 }
 

@@ -7,11 +7,16 @@
 // huge-region number, so one huge entry covers 512x the address range of a
 // base entry — this is the TLB-coverage effect huge pages buy.
 //
-// Entries also record the translated frame.  The translation engine
-// re-validates a hit against the live page tables and discards entries the
-// kernels have since remapped — this models precise invalidation (INVLPG /
-// single-context INVEPT with a tagged TLB) without the wholesale flushes
-// that would distort short simulations.
+// Entries also record the translated frame and a generation stamp: the
+// (guest-region, host-region) page-table generations the entry was filled
+// under, plus whether the translation went through a well-aligned huge
+// pair.  The translation engine compares the stamp against the live
+// tables' generation counters on every hit — an O(1) integer compare that
+// models precise invalidation (INVLPG / single-context INVEPT with a
+// tagged TLB) without the wholesale flushes that would distort short
+// simulations.  Entries whose regions mutated are re-derived once and
+// either restamped (still-correct translation, e.g. after an in-place
+// promotion) or dropped as stale.
 //
 // In virtualized mode the engine only inserts a 2 MiB entry for
 // well-aligned huge pages (guest huge AND host huge); that rule lives in
@@ -33,12 +38,23 @@ struct TlbConfig {
 
 class Tlb {
  public:
+  // Validity stamp recorded when an entry is filled (or revalidated): the
+  // page-table generations the translation was derived under.  The host
+  // fields are unused (zero) in native mode.
+  struct Stamp {
+    uint64_t guest_gen = 0;    // guest table generation of the VPN's region
+    uint64_t host_region = 0;  // host region (GFN >> 9) backing the entry
+    uint64_t host_gen = 0;     // host table generation of that region
+    bool well_aligned = false;  // translated through a huge/huge pair
+  };
+
   struct LookupResult {
     bool hit = false;
     base::PageSize size = base::PageSize::kBase;
     // Translated frame: the page's frame for a 4 KiB entry, the first frame
     // of the 2 MiB block for a huge entry.
     uint64_t frame = 0;
+    Stamp stamp;  // stamps recorded at fill / last revalidation
   };
 
   explicit Tlb(const TlbConfig& config);
@@ -48,8 +64,17 @@ class Tlb {
   LookupResult Lookup(uint64_t vpn);
 
   // Inserts a translation for `vpn` at the given granularity, evicting the
-  // LRU way of the target set.
+  // LRU way of the target set.  The overload without a stamp inserts with
+  // a default (all-zero) stamp — fine for unit tests and standalone use.
+  void Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
+              const Stamp& stamp);
   void Insert(uint64_t vpn, base::PageSize size, uint64_t frame);
+
+  // Replaces the stamp of the entry the most recent Lookup hit.  Called
+  // after the engine re-derived a generation-mismatched entry and found it
+  // still correct (e.g. after an in-place promotion): the entry is valid
+  // again for the new generations.  Does not touch the LRU clock.
+  void RestampHit(const Stamp& stamp);
 
   // Reclassifies the most recent hit as a miss (the engine found the entry
   // stale against the page tables and dropped it).
@@ -72,6 +97,11 @@ class Tlb {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t shootdowns() const { return shootdowns_; }
+  // Hits reclassified as misses because the cached translation no longer
+  // matched the page tables.  Always also counted in misses(): the counter
+  // splits out how many misses were precise invalidations rather than
+  // capacity/cold misses.
+  uint64_t stale_hits() const { return stale_drops_; }
   uint64_t stale_drops() const { return stale_drops_; }
   uint32_t entry_count() const;  // currently valid entries
   void ResetCounters();
@@ -81,6 +111,7 @@ class Tlb {
     uint64_t tag = 0;       // vpn (4K) or huge-region number (2M)
     uint64_t frame = 0;
     uint64_t lru_stamp = 0;
+    Stamp stamp;
     base::PageSize size = base::PageSize::kBase;
     bool valid = false;
   };
@@ -91,7 +122,8 @@ class Tlb {
   Entry* FindEntry(uint64_t key, base::PageSize size);
 
   TlbConfig config_;
-  std::vector<Entry> entries_;  // sets * ways
+  std::vector<Entry> entries_;  // sets * ways; sized once, never moves
+  Entry* last_hit_ = nullptr;   // entry returned by the most recent Lookup
   uint64_t clock_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

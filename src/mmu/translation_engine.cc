@@ -21,17 +21,46 @@ TranslationEngine::TranslationEngine(const Config& config,
 TranslateResult TranslationEngine::Translate(uint64_t vpn) {
   ++translations_;
   TranslateResult result;
+  const uint64_t region = vpn >> kHugeOrder;
 
   const Tlb::LookupResult cached = tlb_.Lookup(vpn);
+  // Translations threaded from hit validation into the miss path, so a
+  // stale hit never walks the tables twice.
+  std::optional<Translation> guest;
+  bool guest_fetched = false;
+  std::optional<Translation> host;
+  bool host_fetched = false;
+
   if (cached.hit) {
-    // Validate the cached translation against the live tables.  Hardware
-    // achieves the same with precise invalidation (INVLPG, tagged INVEPT);
-    // the simulator re-derives and drops the entry if the kernels remapped
-    // underneath it.
-    const auto guest = guest_table_->Lookup(vpn);
+    // Generation compare: if neither the guest region nor the host region
+    // the entry was derived from has been remapped since the entry was
+    // stamped, the cached translation is correct by construction — the
+    // entry behaves exactly like a precisely invalidated (INVLPG / tagged
+    // INVEPT) TLB entry and the hit is O(1), with no table walks.
+    if (cached.stamp.guest_gen == guest_table_->generation(region) &&
+        (host_table_ == nullptr ||
+         cached.stamp.host_gen ==
+             host_table_->generation(cached.stamp.host_region))) {
+      result.tlb_hit = true;
+      result.cycles = config_.tlb_hit_cycles;
+      translation_cycles_ += result.cycles;
+      result.frame = cached.size == base::PageSize::kHuge
+                         ? cached.frame + (vpn & (kPagesPerHuge - 1))
+                         : cached.frame;
+      result.well_aligned_huge = cached.stamp.well_aligned;
+      return result;
+    }
+    // A generation moved: re-derive the translation once.  If it still
+    // matches, the remap was compatible (e.g. an in-place promotion kept
+    // every frame) — keep the hit and restamp the entry for the new
+    // generations.  Otherwise the entry is stale: drop it and fall through
+    // to the miss path, reusing the lookups performed here.
+    guest = guest_table_->Lookup(vpn);
+    guest_fetched = true;
     bool valid = guest.has_value();
     uint64_t frame = 0;
     bool aligned = false;
+    Tlb::Stamp stamp;
     if (valid && host_table_ == nullptr) {
       frame = guest->frame;
       aligned = guest->size == base::PageSize::kHuge;
@@ -40,8 +69,10 @@ TranslateResult TranslationEngine::Translate(uint64_t vpn) {
       } else {
         valid = frame == cached.frame;
       }
+      stamp.guest_gen = guest_table_->generation(region);
     } else if (valid) {
-      const auto host = host_table_->Lookup(guest->frame);
+      host = host_table_->Lookup(guest->frame);
+      host_fetched = true;
       valid = host.has_value();
       if (valid) {
         frame = host->frame;
@@ -52,9 +83,14 @@ TranslateResult TranslationEngine::Translate(uint64_t vpn) {
         } else {
           valid = frame == cached.frame;
         }
+        stamp.guest_gen = guest_table_->generation(region);
+        stamp.host_region = guest->frame >> kHugeOrder;
+        stamp.host_gen = host_table_->generation(stamp.host_region);
       }
     }
     if (valid) {
+      stamp.well_aligned = aligned;
+      tlb_.RestampHit(stamp);
       result.tlb_hit = true;
       result.cycles = config_.tlb_hit_cycles;
       translation_cycles_ += result.cycles;
@@ -67,8 +103,9 @@ TranslateResult TranslationEngine::Translate(uint64_t vpn) {
   }
 
   // TLB miss: walk.
-  const uint64_t region = vpn >> kHugeOrder;
-  const auto guest = guest_table_->Lookup(vpn);
+  if (!guest_fetched) {
+    guest = guest_table_->Lookup(vpn);
+  }
   if (!guest.has_value()) {
     result.status = TranslateStatus::kGuestFault;
     result.fault_page = vpn;
@@ -82,15 +119,20 @@ TranslateResult TranslationEngine::Translate(uint64_t vpn) {
     result.frame = guest->frame;
     result.cycles = walk.cycles;
     translation_cycles_ += result.cycles;
-    result.well_aligned_huge = guest->size == base::PageSize::kHuge;
+    const bool huge = guest->size == base::PageSize::kHuge;
+    result.well_aligned_huge = huge;
+    Tlb::Stamp stamp;
+    stamp.guest_gen = guest_table_->generation(region);
+    stamp.well_aligned = huge;
     tlb_.Insert(vpn, guest->size,
-                guest->size == base::PageSize::kHuge
-                    ? (guest->frame & ~(kPagesPerHuge - 1))
-                    : guest->frame);
+                huge ? (guest->frame & ~(kPagesPerHuge - 1)) : guest->frame,
+                stamp);
     return result;
   }
 
-  const auto host = host_table_->Lookup(guest->frame);
+  if (!host_fetched) {
+    host = host_table_->Lookup(guest->frame);
+  }
   if (!host.has_value()) {
     result.status = TranslateStatus::kHostFault;
     result.fault_page = guest->frame;
@@ -113,11 +155,16 @@ TranslateResult TranslationEngine::Translate(uint64_t vpn) {
   const bool aligned = guest->size == base::PageSize::kHuge &&
                        host->size == base::PageSize::kHuge;
   result.well_aligned_huge = aligned;
+  Tlb::Stamp stamp;
+  stamp.guest_gen = guest_table_->generation(region);
+  stamp.host_region = guest->frame >> kHugeOrder;
+  stamp.host_gen = host_table_->generation(stamp.host_region);
+  stamp.well_aligned = aligned;
   if (aligned) {
     tlb_.Insert(vpn, base::PageSize::kHuge,
-                host->frame & ~(kPagesPerHuge - 1));
+                host->frame & ~(kPagesPerHuge - 1), stamp);
   } else {
-    tlb_.Insert(vpn, base::PageSize::kBase, host->frame);
+    tlb_.Insert(vpn, base::PageSize::kBase, host->frame, stamp);
   }
   return result;
 }

@@ -11,6 +11,14 @@
 //
 // In native mode (no host table) the engine degenerates to a classic
 // TLB + 1D walk.
+//
+// Hot path: a TLB hit is validated by comparing the entry's generation
+// stamp against the guest/host page tables' per-region generation counters
+// (see page_table.h) — an O(1) integer compare, no table walks.  Only when
+// a generation moved is the translation re-derived, after which the entry
+// is restamped (still correct, e.g. in-place promotion) or dropped as
+// stale.  DESIGN.md ("Translation hot path") proves this equivalent to
+// re-deriving on every hit.
 #ifndef SRC_MMU_TRANSLATION_ENGINE_H_
 #define SRC_MMU_TRANSLATION_ENGINE_H_
 

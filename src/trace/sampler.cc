@@ -49,6 +49,7 @@ void StackSampler::Run(base::Cycles now) {
     p.tlb_miss_rate = lookups == 0 ? 0.0
                                    : static_cast<double>(s.tlb_misses) /
                                          static_cast<double>(lookups);
+    p.stale_hits = s.tlb_stale_hits;
     for (int o = 0; o < kMaxOrder; ++o) {
       p.guest_free[o] = vm.guest().buddy().FreeBlocksOfOrder(o);
       p.host_free[o] = host_buddy.FreeBlocksOfOrder(o);
@@ -60,7 +61,8 @@ void StackSampler::Run(base::Cycles now) {
 std::string StackSampler::ToCsv() const {
   std::ostringstream out;
   out << "ts_cycles,vm,guest_coverage,host_coverage,guest_fmfi,host_fmfi,"
-         "booking_timeout_cycles,bookings_active,bucket_held,tlb_miss_rate";
+         "booking_timeout_cycles,bookings_active,bucket_held,tlb_miss_rate,"
+         "stale_hits";
   for (int o = 0; o < kMaxOrder; ++o) {
     out << ",guest_free_o" << o;
   }
@@ -72,7 +74,7 @@ std::string StackSampler::ToCsv() const {
     out << p.ts << ',' << p.vm_id << ',' << p.guest_coverage << ','
         << p.host_coverage << ',' << p.guest_fmfi << ',' << p.host_fmfi << ','
         << p.booking_timeout << ',' << p.bookings_active << ','
-        << p.bucket_held << ',' << p.tlb_miss_rate;
+        << p.bucket_held << ',' << p.tlb_miss_rate << ',' << p.stale_hits;
     for (int o = 0; o < kMaxOrder; ++o) {
       out << ',' << p.guest_free[o];
     }

@@ -37,6 +37,7 @@ struct SamplePoint {
   uint64_t bookings_active = 0;      // live bookings, both layers
   uint64_t bucket_held = 0;          // regions retained by the huge bucket
   double tlb_miss_rate = 0.0;        // cumulative misses / lookups
+  uint64_t stale_hits = 0;           // cumulative precise-invalidation misses
   uint64_t guest_free[base::kMaxOrder] = {};  // free blocks per order
   uint64_t host_free[base::kMaxOrder] = {};
 };

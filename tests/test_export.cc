@@ -17,6 +17,7 @@ workload::RunResult SampleResult() {
   r.mean_latency = 1000.0;
   r.p99_latency = 2000.0;
   r.tlb_misses = 42;
+  r.counters.tlb_stale_hits = 6;
   r.tlb_miss_rate = 0.25;
   r.alignment.guest_huge = 7;
   r.alignment.host_huge = 9;
@@ -34,9 +35,9 @@ TEST(Export, CsvHasHeaderAndRow) {
   const std::string csv =
       metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
   EXPECT_NE(csv.find("workload,system,throughput"), std::string::npos);
-  EXPECT_NE(
-      csv.find("Redis,Gemini,1.5,1000,2000,42,0.25,0.875,7,9,11,3,5,2,123456"),
-      std::string::npos);
+  EXPECT_NE(csv.find("Redis,Gemini,1.5,1000,2000,42,6,0.25,0.875,7,9,11,3,5,"
+                     "2,123456"),
+            std::string::npos);
 }
 
 TEST(Export, CsvCarriesWallTimeAndSeedColumns) {
@@ -105,6 +106,17 @@ TEST(Export, CarriesMechanismCounters) {
   EXPECT_NE(json.find("\"bookings_expired\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"bucket_hits\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"demotions\": 2"), std::string::npos);
+}
+
+TEST(Export, CarriesStaleHitColumn) {
+  const auto r = SampleResult();
+  const std::string csv =
+      metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(csv.find("tlb_misses,stale_hits,tlb_miss_rate"),
+            std::string::npos);
+  const std::string json =
+      metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(json.find("\"stale_hits\": 6"), std::string::npos);
 }
 
 TEST(Export, JsonCarriesWallTimeAndSeed) {

@@ -19,6 +19,7 @@
 #include "gemini/gemini_policy.h"
 #include "harness/systems.h"
 #include "metrics/alignment_audit.h"
+#include "mmu/translation_engine.h"
 #include "os/machine.h"
 
 namespace {
@@ -84,18 +85,32 @@ TEST_P(MachineFuzzTest, RandomOpsKeepInvariants) {
     vm.host_slice().table().CheckInvariants();
 
     // Every guest translation must compose into a valid in-bounds host
-    // frame (or be absent).
+    // frame (or be absent), and the engine's generation-tagged fast path
+    // must agree with a direct re-derivation through both tables —
+    // regardless of what stale or restamped TLB state the burst left
+    // behind.
     for (const LiveVma& vma : vmas) {
       for (int probe = 0; probe < 8; ++probe) {
         const uint64_t vpn = vma.start + rng.NextBelow(vma.pages);
         const auto g = vm.guest().table().Lookup(vpn);
+        const auto r = vm.engine().Translate(vpn);
         if (!g.has_value()) {
+          ASSERT_EQ(r.status, mmu::TranslateStatus::kGuestFault);
           continue;
         }
         ASSERT_LT(g->frame, vm.guest().buddy().frame_count());
         const auto h = vm.host_slice().table().Lookup(g->frame);
         if (h.has_value()) {
           ASSERT_LT(h->frame, machine.host().buddy().frame_count());
+          ASSERT_EQ(r.status, mmu::TranslateStatus::kOk);
+          ASSERT_EQ(r.frame, h->frame) << "vpn " << vpn;
+          ASSERT_EQ(r.well_aligned_huge,
+                    g->size == base::PageSize::kHuge &&
+                        h->size == base::PageSize::kHuge)
+              << "vpn " << vpn;
+        } else {
+          ASSERT_EQ(r.status, mmu::TranslateStatus::kHostFault);
+          ASSERT_EQ(r.fault_page, g->frame);
         }
       }
     }

@@ -214,6 +214,85 @@ TEST(PageTable, BaseFrameQueries) {
   EXPECT_FALSE(table.BaseFrame(1, 5).has_value());
 }
 
+TEST(PageTable, GenerationStartsAtZeroAndBumpsOnEveryMutation) {
+  PageTable table;
+  const uint64_t region = 12;
+  const uint64_t base_vpn = region << kHugeOrder;
+  EXPECT_EQ(table.generation(region), 0u);
+  EXPECT_EQ(table.generation(1u << 20), 0u);  // unseen region reads as zero
+
+  uint64_t gen = table.generation(region);
+  table.MapBase(base_vpn, 1024);
+  EXPECT_GT(table.generation(region), gen);
+
+  gen = table.generation(region);
+  table.UnmapBase(base_vpn);
+  EXPECT_GT(table.generation(region), gen);
+
+  gen = table.generation(region);
+  table.MapHuge(region, 2048);
+  EXPECT_GT(table.generation(region), gen);
+
+  gen = table.generation(region);
+  table.Demote(region);
+  EXPECT_GT(table.generation(region), gen);
+
+  gen = table.generation(region);
+  table.PromoteInPlace(region);
+  EXPECT_GT(table.generation(region), gen);
+
+  gen = table.generation(region);
+  table.UnmapHuge(region);
+  EXPECT_GT(table.generation(region), gen);
+}
+
+TEST(PageTable, PromoteWithMigrationBumpsGeneration) {
+  PageTable table;
+  const uint64_t region = 2;
+  table.MapBase((region << kHugeOrder) + 7, 999);
+  const uint64_t gen = table.generation(region);
+  table.PromoteWithMigration(region, 4096);
+  EXPECT_GT(table.generation(region), gen);
+}
+
+TEST(PageTable, GenerationSurvivesFullUnmap) {
+  // Slots are never recycled: a region's generation must keep growing across
+  // unmap/remap cycles so a TLB entry stamped before the unmap can never
+  // alias a later remap of the same region.
+  PageTable table;
+  const uint64_t region = 3;
+  const uint64_t base_vpn = region << kHugeOrder;
+  table.MapBase(base_vpn, 100);
+  table.UnmapBase(base_vpn);
+  const uint64_t gen_after_unmap = table.generation(region);
+  EXPECT_GT(gen_after_unmap, 0u);
+  table.MapBase(base_vpn, 200);
+  EXPECT_GT(table.generation(region), gen_after_unmap);
+  table.CheckInvariants();
+}
+
+TEST(PageTable, GenerationIsPerRegion) {
+  PageTable table;
+  table.MapBase(0, 1);  // region 0
+  EXPECT_GT(table.generation(0), 0u);
+  EXPECT_EQ(table.generation(1), 0u);
+  table.MapHuge(5, 512);
+  EXPECT_EQ(table.generation(1), 0u);
+  EXPECT_GT(table.generation(5), 0u);
+}
+
+TEST(PageTable, LookupAndReadsDoNotBumpGeneration) {
+  PageTable table;
+  table.MapBase(10, 50);
+  const uint64_t gen = table.generation(0);
+  table.Lookup(10);
+  table.BaseFrame(0, 10);
+  table.PresentBasePages(0);
+  table.IsHugeMapped(0);
+  table.BumpAccess(0);  // access-bit tracking is not a mapping mutation
+  EXPECT_EQ(table.generation(0), gen);
+}
+
 // Property: random map/unmap/promote/demote sequences keep Lookup
 // consistent with a reference map.
 class PageTablePropertyTest : public ::testing::TestWithParam<uint64_t> {};

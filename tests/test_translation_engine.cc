@@ -153,6 +153,87 @@ TEST_F(EngineTest, InPlacePromotionKeepsOldBaseEntriesValid) {
   EXPECT_EQ(r.frame, 3 * kPagesPerHuge + 4);
 }
 
+TEST_F(EngineTest, InPlacePromotionRestampsWithoutStaleDrop) {
+  // Both layers promote in place: the generation stamps of the cached 4 KiB
+  // entry go stale, but re-derivation finds identical frames, so the entry
+  // is restamped and the access still counts as a hit — zero stale drops.
+  for (uint64_t v = 0; v < kPagesPerHuge; ++v) {
+    guest_.MapBase(v, v);
+    ept_.MapBase(v, 3 * kPagesPerHuge + v);
+  }
+  TranslationEngine engine(SmallConfig(), &guest_, &ept_);
+  ASSERT_FALSE(engine.Translate(4).well_aligned_huge);
+  guest_.PromoteInPlace(0);
+  ept_.PromoteInPlace(0);
+  const auto r = engine.Translate(4);
+  EXPECT_TRUE(r.tlb_hit);
+  // The revalidated entry now reflects the well-aligned pair.
+  EXPECT_TRUE(r.well_aligned_huge);
+  EXPECT_EQ(engine.tlb().stale_hits(), 0u);
+  // Once restamped, the next access takes the pure generation-compare path.
+  const auto r2 = engine.Translate(4);
+  EXPECT_TRUE(r2.tlb_hit);
+  EXPECT_TRUE(r2.well_aligned_huge);
+  EXPECT_EQ(r2.cycles, 1u);
+}
+
+TEST_F(EngineTest, UnrelatedRegionMutationDoesNotDisturbHits) {
+  guest_.MapBase(50, 7);
+  ept_.MapBase(7, 700);
+  TranslationEngine engine(SmallConfig(), &guest_, &ept_);
+  ASSERT_FALSE(engine.Translate(50).tlb_hit);
+  // Churn a different guest region and a different host region.
+  guest_.MapHuge(10, 20 * kPagesPerHuge);
+  ept_.MapHuge(30, 40 * kPagesPerHuge);
+  const auto r = engine.Translate(50);
+  EXPECT_TRUE(r.tlb_hit);
+  EXPECT_EQ(r.frame, 700u);
+  EXPECT_EQ(engine.tlb().stale_hits(), 0u);
+}
+
+TEST_F(EngineTest, StaleEntryDetectedAfterGuestDemote) {
+  guest_.MapHuge(0, 0);
+  ept_.MapHuge(0, 1024);
+  TranslationEngine engine(SmallConfig(), &guest_, &ept_);
+  ASSERT_TRUE(engine.Translate(5).well_aligned_huge);
+  ASSERT_TRUE(engine.Translate(6).tlb_hit);
+  // Demoting the guest region leaves frames intact but kills alignment: the
+  // huge TLB entry may no longer exist (paper §2.2).
+  guest_.Demote(0);
+  const auto r = engine.Translate(6);
+  EXPECT_EQ(r.status, TranslateStatus::kOk);
+  EXPECT_FALSE(r.well_aligned_huge);
+  EXPECT_EQ(r.frame, 1024u + 6);
+  EXPECT_GT(engine.tlb().stale_hits(), 0u);
+}
+
+TEST_F(EngineTest, StaleEntryDetectedAfterGuestUnmap) {
+  guest_.MapBase(50, 7);
+  ept_.MapBase(7, 700);
+  TranslationEngine engine(SmallConfig(), &guest_, &ept_);
+  ASSERT_TRUE(engine.Translate(50).status == TranslateStatus::kOk);
+  guest_.UnmapBase(50);
+  const auto r = engine.Translate(50);
+  EXPECT_EQ(r.status, TranslateStatus::kGuestFault);
+  EXPECT_GT(engine.tlb().stale_hits(), 0u);
+}
+
+TEST_F(EngineTest, HugeHitReconstructsFrameFromBlockBase) {
+  guest_.MapHuge(3, 2 * kPagesPerHuge);
+  ept_.MapHuge(2, 9 * kPagesPerHuge);
+  TranslationEngine engine(SmallConfig(), &guest_, &ept_);
+  const uint64_t base_vpn = 3ull << kHugeOrder;
+  ASSERT_FALSE(engine.Translate(base_vpn).tlb_hit);
+  // Every page of the region must hit the single 2 MiB entry and get its
+  // frame rebuilt from the block base plus the in-region offset.
+  for (uint64_t slot : {1ull, 17ull, 255ull, 511ull}) {
+    const auto r = engine.Translate(base_vpn + slot);
+    EXPECT_TRUE(r.tlb_hit);
+    EXPECT_EQ(r.frame, 9 * kPagesPerHuge + slot);
+    EXPECT_EQ(r.cycles, 1u);
+  }
+}
+
 TEST_F(EngineTest, NativeModeUsesGuestTableOnly) {
   guest_.MapBase(10, 77);
   TranslationEngine engine(SmallConfig(), &guest_, nullptr);
