@@ -9,6 +9,7 @@
 // contributes the majority (~2/3 in the paper), with the bucket mattering
 // most for allocation-churning workloads (Redis, RocksDB, Memcached).
 #include "bench/bench_common.h"
+#include "metrics/miss_breakdown.h"
 
 namespace {
 
@@ -111,6 +112,20 @@ int main() {
                 metrics::TextTable::Pct(
                     metrics::ArithmeticMean(bucket_shares))});
   table.Print();
+
+  // Companion table: where full Gemini's remaining TLB misses come from —
+  // cold (demand paging), precise invalidation (generation-stamp drops),
+  // or capacity.  Rendering lives in metrics::RenderMissBreakdown so
+  // tests/test_metrics.cc can pin the byte-exact format.
+  std::vector<metrics::MissSourceRow> miss_rows;
+  for (size_t n = 0; n < names.size(); ++n) {
+    const auto& full_run = cells[n * kVariants + 1].result;
+    miss_rows.push_back(metrics::MissSourceRow{
+        names[n], full_run.tlb_misses, full_run.faulting_accesses,
+        full_run.counters.tlb_stale_hits});
+  }
+  std::fputs(metrics::RenderMissBreakdown(miss_rows).c_str(), stdout);
+
   bench::ExportRows("fig16_breakdown", rows);
   return 0;
 }

@@ -3,6 +3,7 @@
 #ifndef SRC_METRICS_COUNTERS_H_
 #define SRC_METRICS_COUNTERS_H_
 
+#include <array>
 #include <cstdint>
 
 #include "base/types.h"
@@ -31,6 +32,13 @@ struct StackSnapshot {
   uint64_t bookings_started = 0;
   uint64_t bookings_expired = 0;
   uint64_t bucket_hits = 0;
+  // Batch-path effectiveness (host-side only: batching never changes
+  // simulation results; see TranslationEngine::BatchStats).
+  uint64_t batches = 0;
+  uint64_t batched_accesses = 0;
+  uint64_t batch_region_groups = 0;
+  uint64_t batch_fastpath_hits = 0;
+  std::array<uint64_t, 8> batch_size_hist{};  // log2 batch-size buckets
 
   StackSnapshot Delta(const StackSnapshot& earlier) const;
 };

@@ -57,6 +57,9 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
   out << "workload,system,throughput,mean_latency,p99_latency,tlb_misses,"
          "stale_hits,tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,"
          "bookings_started,bookings_expired,bucket_hits,demotions,"
+         "batches,batched_accesses,batch_region_groups,batch_fastpath_hits,"
+         "batch_hist_b0,batch_hist_b1,batch_hist_b2,batch_hist_b3,"
+         "batch_hist_b4,batch_hist_b5,batch_hist_b6,batch_hist_b7,"
          "busy_cycles,wall_ms,seed\n";
   for (const ResultRow& row : rows) {
     SIM_CHECK(row.result != nullptr);
@@ -69,7 +72,13 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
         << ',' << r.alignment.host_huge << ','
         << r.counters.bookings_started << ',' << r.counters.bookings_expired
         << ',' << r.counters.bucket_hits << ',' << r.counters.demotions
-        << ',' << r.busy_cycles << ',' << row.wall_ms << ',' << row.seed
+        << ',' << r.counters.batches << ',' << r.counters.batched_accesses
+        << ',' << r.counters.batch_region_groups << ','
+        << r.counters.batch_fastpath_hits;
+    for (const uint64_t bucket : r.counters.batch_size_hist) {
+      out << ',' << bucket;
+    }
+    out << ',' << r.busy_cycles << ',' << row.wall_ms << ',' << row.seed
         << '\n';
   }
   return out.str();
@@ -96,7 +105,15 @@ std::string ToJson(const std::vector<ResultRow>& rows) {
         << ", \"bookings_expired\": " << r.counters.bookings_expired
         << ", \"bucket_hits\": " << r.counters.bucket_hits
         << ", \"demotions\": " << r.counters.demotions
-        << ", \"busy_cycles\": " << r.busy_cycles
+        << ", \"batches\": " << r.counters.batches
+        << ", \"batched_accesses\": " << r.counters.batched_accesses
+        << ", \"batch_region_groups\": " << r.counters.batch_region_groups
+        << ", \"batch_fastpath_hits\": " << r.counters.batch_fastpath_hits;
+    for (size_t b = 0; b < r.counters.batch_size_hist.size(); ++b) {
+      out << ", \"batch_hist_b" << b
+          << "\": " << r.counters.batch_size_hist[b];
+    }
+    out << ", \"busy_cycles\": " << r.busy_cycles
         << ", \"wall_ms\": " << rows[i].wall_ms
         << ", \"seed\": " << rows[i].seed << '}'
         << (i + 1 < rows.size() ? ",\n" : "\n");

@@ -25,13 +25,21 @@
 //   bookings_expired  | int    | bookings lost to timeout (both layers)
 //   bucket_hits       | int    | huge-bucket regions reused by placement
 //   demotions         | int    | huge mappings demoted (both layers)
+//   batches           | int    | AccessBatch calls over the measured phase
+//   batched_accesses  | int    | accesses issued through those batches
+//   batch_region_groups | int  | same-region runs summed over batches
+//   batch_fastpath_hits | int  | translations resolved by the batch memo
+//   batch_hist_b0..b7 | int    | batches with floor(log2(size)) == b
+//                     |        | (b7 holds 128+)
 //   busy_cycles       | int    | simulated cycles of the measured phase
 //   wall_ms           | number | host wall-clock of the cell, milliseconds
 //   seed              | int    | BedOptions::seed that produced the cell
 //
 // Every field except wall_ms is deterministic: same seed, same values, at
 // any GEMINI_JOBS count.  wall_ms is real host time — use it to track the
-// simulator's own performance, never to compare systems.
+// simulator's own performance, never to compare systems.  The batch_*
+// fields describe how the batch pipeline was driven (GEMINI_BATCH), not
+// simulation behavior: results are identical at any batch size.
 #ifndef SRC_METRICS_EXPORT_H_
 #define SRC_METRICS_EXPORT_H_
 
@@ -57,7 +65,9 @@ struct ResultRow {
 // Renders rows as CSV with a fixed header:
 // workload,system,throughput,mean_latency,p99_latency,tlb_misses,stale_hits,
 // tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,bookings_started,
-// bookings_expired,bucket_hits,demotions,busy_cycles,wall_ms,seed
+// bookings_expired,bucket_hits,demotions,batches,batched_accesses,
+// batch_region_groups,batch_fastpath_hits,batch_hist_b0..batch_hist_b7,
+// busy_cycles,wall_ms,seed
 std::string ToCsv(const std::vector<ResultRow>& rows);
 
 // Renders rows as a JSON array of objects with the same fields.

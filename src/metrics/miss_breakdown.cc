@@ -1,0 +1,41 @@
+#include "metrics/miss_breakdown.h"
+
+#include "metrics/perf_model.h"
+#include "metrics/table.h"
+
+namespace metrics {
+
+uint64_t CapacityMisses(const MissSourceRow& row) {
+  const uint64_t classified = row.cold + row.stale;
+  return row.tlb_misses > classified ? row.tlb_misses - classified : 0;
+}
+
+std::string RenderMissBreakdown(const std::vector<MissSourceRow>& rows) {
+  TextTable table(
+      "Figure 16 companion: TLB miss sources (cold vs precise invalidation "
+      "vs capacity)");
+  table.SetColumns({"workload", "misses", "cold", "precise inval",
+                    "capacity"});
+  std::vector<double> cold_shares;
+  std::vector<double> stale_shares;
+  std::vector<double> capacity_shares;
+  for (const MissSourceRow& row : rows) {
+    const uint64_t capacity = CapacityMisses(row);
+    const double total = static_cast<double>(row.tlb_misses);
+    const double cold_share = total > 0 ? row.cold / total : 0.0;
+    const double stale_share = total > 0 ? row.stale / total : 0.0;
+    const double capacity_share = total > 0 ? capacity / total : 0.0;
+    cold_shares.push_back(cold_share);
+    stale_shares.push_back(stale_share);
+    capacity_shares.push_back(capacity_share);
+    table.AddRow({row.label, std::to_string(row.tlb_misses),
+                  TextTable::Pct(cold_share), TextTable::Pct(stale_share),
+                  TextTable::Pct(capacity_share)});
+  }
+  table.AddRow({"average", "", TextTable::Pct(ArithmeticMean(cold_shares)),
+                TextTable::Pct(ArithmeticMean(stale_shares)),
+                TextTable::Pct(ArithmeticMean(capacity_shares))});
+  return table.Render();
+}
+
+}  // namespace metrics

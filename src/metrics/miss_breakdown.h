@@ -1,0 +1,43 @@
+// TLB miss-source breakdown (the fig16 companion table): splits each
+// run's counted TLB misses into the three sources the simulator can tell
+// apart exactly:
+//
+//   cold       the access demand-paged (faulting accesses each contribute
+//              exactly one counted miss, since faulting translate attempts
+//              are uncounted and retried),
+//   precise    hits dropped by generation-stamp validation — the software
+//              analogue of INVLPG / tagged-INVEPT invalidations (the
+//              TLB's stale_hits counter),
+//   capacity   everything else: evictions and conflicts.
+//
+// The split is exact, not modeled: all three inputs are counters the
+// machine maintains anyway.  Rendering is separated from the figure bench
+// so tests can pin the table's byte-exact output.
+#ifndef SRC_METRICS_MISS_BREAKDOWN_H_
+#define SRC_METRICS_MISS_BREAKDOWN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metrics {
+
+struct MissSourceRow {
+  std::string label;
+  uint64_t tlb_misses = 0;
+  uint64_t cold = 0;   // faulting accesses in the measured phase
+  uint64_t stale = 0;  // precise invalidations (stale hits)
+};
+
+// Capacity/conflict misses: the remainder after cold and precise misses,
+// clamped at zero (warm-up truncation can leave a cold count larger than
+// the measured-phase miss count).
+uint64_t CapacityMisses(const MissSourceRow& row);
+
+// Renders the breakdown as a TextTable: one row per input with absolute
+// misses and the three source shares, plus an arithmetic-mean row.
+std::string RenderMissBreakdown(const std::vector<MissSourceRow>& rows);
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_MISS_BREAKDOWN_H_

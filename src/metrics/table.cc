@@ -16,7 +16,7 @@ void TextTable::AddRow(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
-void TextTable::Print() const {
+std::string TextTable::Render() const {
   std::vector<size_t> widths(columns_.size(), 0);
   for (size_t c = 0; c < columns_.size(); ++c) {
     widths[c] = columns_[c].size();
@@ -26,23 +26,28 @@ void TextTable::Print() const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  std::printf("\n== %s ==\n", title_.c_str());
-  auto print_row = [&](const std::vector<std::string>& cells) {
+  std::string out = "\n== " + title_ + " ==\n";
+  auto append_row = [&](const std::vector<std::string>& cells) {
     for (size_t c = 0; c < cells.size(); ++c) {
-      std::printf("%-*s%s", static_cast<int>(widths[c]), cells[c].c_str(),
-                  c + 1 == cells.size() ? "\n" : "  ");
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+      out += c + 1 == cells.size() ? "\n" : "  ";
     }
   };
-  print_row(columns_);
+  append_row(columns_);
   size_t total = columns_.empty() ? 0 : (columns_.size() - 1) * 2;
   for (size_t w : widths) {
     total += w;
   }
-  std::printf("%s\n", std::string(total, '-').c_str());
+  out.append(total, '-');
+  out += '\n';
   for (const auto& row : rows_) {
-    print_row(row);
+    append_row(row);
   }
+  return out;
 }
+
+void TextTable::Print() const { std::fputs(Render().c_str(), stdout); }
 
 std::string TextTable::Fmt(double value, int precision) {
   char buf[64];

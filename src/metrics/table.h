@@ -16,6 +16,10 @@ class TextTable {
   void SetColumns(std::vector<std::string> columns);
   void AddRow(std::vector<std::string> cells);
 
+  // Renders the full table (title, header, separator, rows) to a string —
+  // exactly what Print() writes, so golden-output tests can pin a table's
+  // byte-exact shape without capturing stdout.
+  std::string Render() const;
   // Renders to stdout.
   void Print() const;
 

@@ -34,7 +34,7 @@ void NestedWalker::WalkTablePage(PrefixCache& cache, uint64_t key,
   // Full host-dimension walk to translate the table page (guest page-table
   // pages are base-mapped in the host).
   Charge(host_pwc_.Walk(key, base::PageSize::kBase), out);
-  cache.Insert(key);
+  cache.InsertMissing(key);
 }
 
 WalkResult NestedWalker::NestedWalk(uint64_t vpn, base::PageSize guest_leaf,

@@ -31,6 +31,7 @@ void PageTable::MapBase(uint64_t vpn, uint64_t frame) {
   entry.base->frames[slot] = frame;
   entry.base->present[slot] = true;
   ++entry.generation;
+  ++mutations_;
   ++mapped_base_pages_;
 }
 
@@ -44,6 +45,7 @@ void PageTable::MapHuge(uint64_t region, uint64_t frame) {
   entry.is_huge = true;
   entry.huge_frame = frame;
   ++entry.generation;
+  ++mutations_;
   ++mapped_regions_;
   ++huge_leaves_;
 }
@@ -59,6 +61,7 @@ uint64_t PageTable::UnmapBase(uint64_t vpn) {
   const uint64_t frame = br.frames[slot];
   br.present[slot] = false;
   ++entry.generation;
+  ++mutations_;
   --mapped_base_pages_;
   if (br.present.none()) {
     entry.base.reset();
@@ -75,6 +78,7 @@ uint64_t PageTable::UnmapHuge(uint64_t region) {
   entry.is_huge = false;
   entry.huge_frame = 0;
   ++entry.generation;
+  ++mutations_;
   --mapped_regions_;
   --huge_leaves_;
   return frame;
@@ -112,6 +116,7 @@ void PageTable::PromoteInPlace(uint64_t region) {
   entry.is_huge = true;
   entry.huge_frame = frame;
   ++entry.generation;
+  ++mutations_;
   mapped_base_pages_ -= kPagesPerHuge;
   ++huge_leaves_;
 }
@@ -134,6 +139,7 @@ std::vector<std::pair<uint32_t, uint64_t>> PageTable::PromoteWithMigration(
   entry.is_huge = true;
   entry.huge_frame = new_frame;
   ++entry.generation;
+  ++mutations_;
   ++huge_leaves_;
   return old_pages;
 }
@@ -151,6 +157,7 @@ void PageTable::Demote(uint64_t region) {
     entry.base->present[slot] = true;
   }
   ++entry.generation;
+  ++mutations_;
   --huge_leaves_;
   mapped_base_pages_ += kPagesPerHuge;
 }

@@ -125,6 +125,41 @@ class PageTable {
     return region < slots_.size() ? slots_[region].generation : 0;
   }
 
+  // Table-wide mutation count: bumped exactly when any region's generation
+  // is bumped.  Two equal reads bracket an interval in which *no* region's
+  // generation moved, so any validation performed in between is still
+  // current — this is what lets a batched translation validate a region's
+  // generations once and reuse the result for later accesses of the batch
+  // (see translation_engine.h).  Unlike generation(), the counter lives on
+  // one hot cache line regardless of which region is asked about.
+  uint64_t mutations() const { return mutations_; }
+
+  // --- Batched-translation prefetch ---------------------------------------
+  //
+  // Purely advisory cache warming for a translation that will be issued
+  // shortly; no observable state is read or written.  Split in two stages
+  // because the base-page frame cell is behind the slot's table pointer:
+  // stage 1 pulls the region slot, stage 2 (issued a few accesses later,
+  // once the slot line has arrived) chases the pointer to the frame cell.
+  void PrefetchRegion(uint64_t region) const {
+    if (region < slots_.size()) {
+      __builtin_prefetch(&slots_[region], 0, 1);
+    }
+  }
+  void PrefetchPage(uint64_t vpn) const {
+    const uint64_t region = vpn >> base::kHugeOrder;
+    if (region >= slots_.size()) {
+      return;
+    }
+    const Slot& entry = slots_[region];
+    if (const BaseRegion* br = entry.base.get(); br != nullptr) {
+      const uint32_t slot =
+          static_cast<uint32_t>(vpn & (base::kPagesPerHuge - 1));
+      __builtin_prefetch(&br->frames[slot], 0, 1);
+      __builtin_prefetch(&br->present, 0, 1);
+    }
+  }
+
   // --- Access tracking ----------------------------------------------------
 
   void BumpAccess(uint64_t region) { SlotFor(region).accesses += 1; }
@@ -180,6 +215,7 @@ class PageTable {
   uint64_t mapped_base_pages_ = 0;
   uint64_t huge_leaves_ = 0;
   uint64_t mapped_regions_ = 0;  // slots with mapped() == true
+  uint64_t mutations_ = 0;       // sum of all generation bumps
 };
 
 }  // namespace mmu

@@ -2,39 +2,6 @@
 
 namespace mmu {
 
-bool PrefixCache::Lookup(uint64_t prefix) {
-  // MRU fast path: walk streams probe the same prefix for long runs, and a
-  // hit on the list head needs neither the hash lookup nor a splice.
-  if (!lru_.empty() && lru_.front() == prefix) {
-    return true;
-  }
-  auto it = index_.find(prefix);
-  if (it == index_.end()) {
-    return false;
-  }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return true;
-}
-
-void PrefixCache::Insert(uint64_t prefix) {
-  auto it = index_.find(prefix);
-  if (it != index_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back());
-    lru_.pop_back();
-  }
-  lru_.push_front(prefix);
-  index_[prefix] = lru_.begin();
-}
-
-void PrefixCache::Flush() {
-  lru_.clear();
-  index_.clear();
-}
-
 WalkCost PageWalkCache::Walk(uint64_t vpn, base::PageSize leaf_size) {
   WalkCost cost;
   // PML4 reference: one entry per 512 GiB of virtual space.
@@ -43,7 +10,7 @@ WalkCost PageWalkCache::Walk(uint64_t vpn, base::PageSize leaf_size) {
     ++cost.cached_refs;
   } else {
     ++cost.memory_refs;
-    pml4_.Insert(pml4_prefix);
+    pml4_.InsertMissing(pml4_prefix);
   }
   // PDPT reference: one entry per 1 GiB.
   const uint64_t pdpt_prefix = vpn >> 18;
@@ -51,7 +18,7 @@ WalkCost PageWalkCache::Walk(uint64_t vpn, base::PageSize leaf_size) {
     ++cost.cached_refs;
   } else {
     ++cost.memory_refs;
-    pdpt_.Insert(pdpt_prefix);
+    pdpt_.InsertMissing(pdpt_prefix);
   }
   // PD reference (leaf for huge pages) is not covered by the PWC.
   ++cost.memory_refs;

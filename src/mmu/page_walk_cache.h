@@ -14,28 +14,93 @@
 #ifndef SRC_MMU_PAGE_WALK_CACHE_H_
 #define SRC_MMU_PAGE_WALK_CACHE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "base/types.h"
 
 namespace mmu {
 
 // One fully-associative LRU cache of address prefixes.
+//
+// Stored as a flat key array with per-entry LRU stamps rather than a
+// linked list + hash map: the capacities in play are tiny (tens of
+// entries), so a contiguous scan beats node-based structures — and, unlike
+// them, a thrashing workload (e.g. a PT-level nested cache under a random
+// working set far beyond its reach) costs zero allocations per miss.  The
+// replacement behavior is exactly LRU, identical to a list-based
+// implementation: simulated walk costs do not change.
 class PrefixCache {
  public:
-  explicit PrefixCache(uint32_t capacity) : capacity_(capacity) {}
+  explicit PrefixCache(uint32_t capacity) : capacity_(capacity) {
+    keys_.reserve(capacity);
+    stamps_.reserve(capacity);
+  }
 
   // Returns true (and refreshes LRU) if the prefix is cached.
-  bool Lookup(uint64_t prefix);
-  void Insert(uint64_t prefix);
-  void Flush();
+  //
+  // The scan is written branchless over the whole array (keys are unique,
+  // so recording "the" matching index is well defined): an early-exit loop
+  // defeats vectorization, while this form compiles to a handful of wide
+  // compares for the 64-entry caches the nested walker thrashes.
+  bool Lookup(uint64_t prefix) {
+    const size_t n = keys_.size();
+    size_t idx = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (keys_[i] == prefix) {
+        idx = i;
+      }
+    }
+    if (idx == n) {
+      return false;
+    }
+    stamps_[idx] = ++clock_;
+    return true;
+  }
+
+  void Insert(uint64_t prefix) {
+    if (!Lookup(prefix)) {
+      InsertMissing(prefix);
+    }
+  }
+
+  // Insert for a prefix the caller knows is absent (a Lookup just returned
+  // false and nothing touched this cache since): skips the presence scan.
+  void InsertMissing(uint64_t prefix) {
+    if (keys_.size() < capacity_) {
+      keys_.push_back(prefix);
+      stamps_.push_back(++clock_);
+      return;
+    }
+    // Exact-LRU victim in two vectorizable passes: min-reduce the stamps,
+    // then find the (unique — stamps are a strictly increasing clock)
+    // entry carrying the minimum.
+    const size_t n = stamps_.size();
+    uint64_t min_stamp = stamps_[0];
+    for (size_t i = 1; i < n; ++i) {
+      min_stamp = stamps_[i] < min_stamp ? stamps_[i] : min_stamp;
+    }
+    size_t victim = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (stamps_[i] == min_stamp) {
+        victim = i;
+      }
+    }
+    keys_[victim] = prefix;
+    stamps_[victim] = ++clock_;
+  }
+
+  void Flush() {
+    keys_.clear();
+    stamps_.clear();
+  }
 
  private:
   uint32_t capacity_;
-  std::list<uint64_t> lru_;  // front = most recent
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+  uint64_t clock_ = 0;
+  std::vector<uint64_t> keys_;    // cached prefixes, unordered
+  std::vector<uint64_t> stamps_;  // stamps_[i]: last touch of keys_[i]
 };
 
 // Walk cost in memory references for one layer of page table.

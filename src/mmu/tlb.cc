@@ -7,45 +7,52 @@ namespace mmu {
 Tlb::Tlb(const TlbConfig& config) : config_(config) {
   SIM_CHECK(config_.sets > 0 && (config_.sets & (config_.sets - 1)) == 0);
   SIM_CHECK(config_.ways > 0);
-  entries_.resize(static_cast<size_t>(config_.sets) * config_.ways);
+  const size_t n = static_cast<size_t>(config_.sets) * config_.ways;
+  SIM_CHECK(n < static_cast<size_t>(INT32_MAX));  // memo stores int32 indices
+  tags_.assign(n, 0);
+  lru_.assign(n, 0);
+  entries_.resize(n);
+  huge_hit_memo_.assign(kHugeMemoSlots, -1);
 }
 
-Tlb::Entry* Tlb::FindEntry(uint64_t key, base::PageSize size) {
-  const uint32_t set = SetIndex(key);
-  Entry* base_ptr = &entries_[static_cast<size_t>(set) * config_.ways];
+int64_t Tlb::FindEntry(uint64_t key, base::PageSize size) const {
+  const size_t base_i = static_cast<size_t>(SetIndex(key)) * config_.ways;
+  const uint64_t target = PackedTag(key, size);
   for (uint32_t w = 0; w < config_.ways; ++w) {
-    Entry& e = base_ptr[w];
-    if (e.valid && e.size == size && e.tag == key) {
-      return &e;
+    if (tags_[base_i + w] == target) {
+      return static_cast<int64_t>(base_i + w);
     }
   }
-  return nullptr;
+  return -1;
 }
 
 Tlb::LookupResult Tlb::Lookup(uint64_t vpn) {
   ++clock_;
   // Probe the 2 MiB structure first (covers more), then 4 KiB.
   const uint64_t region = vpn >> base::kHugeOrder;
-  if (Entry* e = FindEntry(region, base::PageSize::kHuge)) {
-    e->lru_stamp = clock_;
+  if (const int64_t i = FindEntry(region, base::PageSize::kHuge); i >= 0) {
+    lru_[i] = clock_;
     ++hits_;
-    last_hit_ = e;
-    return LookupResult{true, base::PageSize::kHuge, e->frame, e->stamp};
+    last_hit_ = i;
+    huge_hit_memo_[region & (kHugeMemoSlots - 1)] = static_cast<int32_t>(i);
+    const Entry& e = entries_[i];
+    return LookupResult{true, base::PageSize::kHuge, e.frame, e.stamp};
   }
-  if (Entry* e = FindEntry(vpn, base::PageSize::kBase)) {
-    e->lru_stamp = clock_;
+  if (const int64_t i = FindEntry(vpn, base::PageSize::kBase); i >= 0) {
+    lru_[i] = clock_;
     ++hits_;
-    last_hit_ = e;
-    return LookupResult{true, base::PageSize::kBase, e->frame, e->stamp};
+    last_hit_ = i;
+    const Entry& e = entries_[i];
+    return LookupResult{true, base::PageSize::kBase, e.frame, e.stamp};
   }
   ++misses_;
-  last_hit_ = nullptr;
+  last_hit_ = -1;
   return LookupResult{};
 }
 
 void Tlb::RestampHit(const Stamp& stamp) {
-  SIM_CHECK(last_hit_ != nullptr && last_hit_->valid);
-  last_hit_->stamp = stamp;
+  SIM_CHECK(last_hit_ >= 0 && (tags_[last_hit_] & 1) != 0);
+  entries_[last_hit_].stamp = stamp;
 }
 
 void Tlb::UncountFaultMiss() { --misses_; }
@@ -65,47 +72,52 @@ void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
   ++clock_;
   const uint64_t key =
       size == base::PageSize::kHuge ? (vpn >> base::kHugeOrder) : vpn;
-  if (Entry* existing = FindEntry(key, size)) {
-    existing->lru_stamp = clock_;
-    existing->frame = frame;
-    existing->stamp = stamp;
+  if (const int64_t i = FindEntry(key, size); i >= 0) {
+    lru_[i] = clock_;
+    entries_[i].frame = frame;
+    entries_[i].stamp = stamp;
+    if (size == base::PageSize::kHuge) {
+      huge_hit_memo_[key & (kHugeMemoSlots - 1)] = static_cast<int32_t>(i);
+    }
     return;
   }
-  const uint32_t set = SetIndex(key);
-  Entry* base_ptr = &entries_[static_cast<size_t>(set) * config_.ways];
-  Entry* victim = &base_ptr[0];
+  const size_t base_i = static_cast<size_t>(SetIndex(key)) * config_.ways;
+  size_t victim = base_i;
   for (uint32_t w = 0; w < config_.ways; ++w) {
-    Entry& e = base_ptr[w];
-    if (!e.valid) {
-      victim = &e;
+    const size_t i = base_i + w;
+    if ((tags_[i] & 1) == 0) {
+      victim = i;
       break;
     }
-    if (e.lru_stamp < victim->lru_stamp) {
-      victim = &e;
+    if (lru_[i] < lru_[victim]) {
+      victim = i;
     }
   }
-  victim->valid = true;
-  victim->tag = key;
-  victim->size = size;
-  victim->frame = frame;
-  victim->stamp = stamp;
-  victim->lru_stamp = clock_;
+  tags_[victim] = PackedTag(key, size);
+  lru_[victim] = clock_;
+  entries_[victim].frame = frame;
+  entries_[victim].stamp = stamp;
+  if (size == base::PageSize::kHuge) {
+    huge_hit_memo_[key & (kHugeMemoSlots - 1)] = static_cast<int32_t>(victim);
+  }
 }
 
 void Tlb::Flush() {
-  for (Entry& e : entries_) {
-    e.valid = false;
+  for (uint64_t& t : tags_) {
+    t = 0;
   }
 }
 
 uint32_t Tlb::ShootdownPage(uint64_t vpn) {
   uint32_t dropped = 0;
-  if (Entry* e = FindEntry(vpn, base::PageSize::kBase)) {
-    e->valid = false;
+  if (const int64_t i = FindEntry(vpn, base::PageSize::kBase); i >= 0) {
+    tags_[i] = 0;
     ++dropped;
   }
-  if (Entry* e = FindEntry(vpn >> base::kHugeOrder, base::PageSize::kHuge)) {
-    e->valid = false;
+  if (const int64_t i =
+          FindEntry(vpn >> base::kHugeOrder, base::PageSize::kHuge);
+      i >= 0) {
+    tags_[i] = 0;
     ++dropped;
   }
   shootdowns_ += dropped;
@@ -117,16 +129,17 @@ uint32_t Tlb::ShootdownRange(uint64_t vpn, uint64_t pages) {
   if (pages >= entries_.size()) {
     uint32_t dropped = 0;
     const uint64_t end = vpn + pages;
-    for (Entry& e : entries_) {
-      if (!e.valid) {
+    for (size_t i = 0; i < tags_.size(); ++i) {
+      const uint64_t t = tags_[i];
+      if ((t & 1) == 0) {
         continue;
       }
-      const uint64_t lo =
-          e.size == base::PageSize::kHuge ? e.tag << base::kHugeOrder : e.tag;
-      const uint64_t hi =
-          lo + (e.size == base::PageSize::kHuge ? base::kPagesPerHuge : 1);
+      const bool huge = (t & 2) != 0;
+      const uint64_t tag = t >> 2;
+      const uint64_t lo = huge ? tag << base::kHugeOrder : tag;
+      const uint64_t hi = lo + (huge ? base::kPagesPerHuge : 1);
       if (lo < end && hi > vpn) {
-        e.valid = false;
+        tags_[i] = 0;
         ++dropped;
       }
     }
@@ -142,10 +155,8 @@ uint32_t Tlb::ShootdownRange(uint64_t vpn, uint64_t pages) {
 
 uint32_t Tlb::entry_count() const {
   uint32_t n = 0;
-  for (const Entry& e : entries_) {
-    if (e.valid) {
-      ++n;
-    }
+  for (const uint64_t t : tags_) {
+    n += static_cast<uint32_t>(t & 1);
   }
   return n;
 }

@@ -24,6 +24,7 @@
 #ifndef SRC_MMU_TLB_H_
 #define SRC_MMU_TLB_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -62,6 +63,33 @@ class Tlb {
   // Probes for a translation of `vpn`.  Checks both a 4 KiB entry for the
   // page and a 2 MiB entry for its huge region.  Updates LRU on hit.
   LookupResult Lookup(uint64_t vpn);
+
+  // O(1) repeat-probe for a huge entry of `region`, used by the batched
+  // translation fast path.  If a recently hit or inserted huge entry for
+  // the region is still valid, performs exactly what Lookup would have
+  // done for any vpn of the region — huge entries probe first, and tags
+  // are unique per (set, size), so the memoized entry *is* the entry
+  // Lookup would return — counts the hit, touches LRU, fills `out`, and
+  // returns true.  Otherwise touches nothing (no miss counted; the caller
+  // falls back to Lookup) and returns false.  Defined inline below the
+  // class: it is the innermost step of the batch fast path.
+  bool RehitHuge(uint64_t region, LookupResult* out);
+
+  // Side-effect-free presence probe: true iff a Lookup of `vpn` would hit
+  // right now.  Touches no counters and no LRU state.  The batch prefetch
+  // planner uses it to skip side-walking accesses that will hit anyway
+  // (the answer is advisory — state may change before the real access —
+  // so correctness never depends on it).
+  bool Probe(uint64_t vpn) const {
+    return FindEntry(vpn >> base::kHugeOrder, base::PageSize::kHuge) >= 0 ||
+           FindEntry(vpn, base::PageSize::kBase) >= 0;
+  }
+
+  // Advisory prefetch of the two sets a Lookup of `vpn` will probe.  A
+  // probe scans the packed tag words of every way, so the tag lines of
+  // both sets are pulled (payload lines are only needed on a hit and are
+  // not worth the traffic).
+  void PrefetchSets(uint64_t vpn) const;
 
   // Inserts a translation for `vpn` at the given granularity, evicting the
   // LRU way of the target set.  The overload without a stamp inserts with
@@ -107,29 +135,72 @@ class Tlb {
   void ResetCounters();
 
  private:
+  // Storage is structure-of-arrays: the probe identity (tag, size, valid)
+  // of every way is packed into one uint64_t in `tags_`, so a 12-way probe
+  // scans 96 contiguous bytes — two cache lines — instead of touching 12
+  // scattered payload entries.  LRU stamps get the same treatment for the
+  // victim scan on insert.  The payload (frame + validity stamp) is only
+  // read on the one way that actually hit.
   struct Entry {
-    uint64_t tag = 0;       // vpn (4K) or huge-region number (2M)
     uint64_t frame = 0;
-    uint64_t lru_stamp = 0;
     Stamp stamp;
-    base::PageSize size = base::PageSize::kBase;
-    bool valid = false;
   };
 
   uint32_t SetIndex(uint64_t key) const {
     return static_cast<uint32_t>(key) & (config_.sets - 1);
   }
-  Entry* FindEntry(uint64_t key, base::PageSize size);
+  // Packed way identity: tag << 2 | is_huge << 1 | valid.  Zero (invalid)
+  // never matches a probe, whose target always has the valid bit set.
+  static uint64_t PackedTag(uint64_t key, base::PageSize size) {
+    return (key << 2) | (size == base::PageSize::kHuge ? 2ull : 0ull) | 1ull;
+  }
+  // Index of the entry translating (key, size), or -1.
+  int64_t FindEntry(uint64_t key, base::PageSize size) const;
+
+  // Direct-mapped cache of recently hit/inserted huge entry indices, by
+  // region; -1 = empty.  Eviction/shootdown/reuse of a slot is caught by
+  // re-checking the packed tag before trusting it (see RehitHuge).
+  static constexpr uint32_t kHugeMemoSlots = 1024;  // power of two
 
   TlbConfig config_;
-  std::vector<Entry> entries_;  // sets * ways; sized once, never moves
-  Entry* last_hit_ = nullptr;   // entry returned by the most recent Lookup
+  std::vector<uint64_t> tags_;     // sets * ways packed way identities
+  std::vector<uint64_t> lru_;      // lru_[i]: last touch of entry i
+  std::vector<Entry> entries_;     // sets * ways payloads
+  std::vector<int32_t> huge_hit_memo_;  // kHugeMemoSlots, region-indexed
+  int64_t last_hit_ = -1;  // entry the most recent Lookup hit, or -1
   uint64_t clock_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t shootdowns_ = 0;
   uint64_t stale_drops_ = 0;
 };
+
+inline void Tlb::PrefetchSets(uint64_t vpn) const {
+  const uint64_t region = vpn >> base::kHugeOrder;
+  const size_t hset = static_cast<size_t>(SetIndex(region)) * config_.ways;
+  const size_t bset = static_cast<size_t>(SetIndex(vpn)) * config_.ways;
+  // A set's packed tags span at most two cache lines; touch both ends.
+  __builtin_prefetch(&tags_[hset], 0, 1);
+  __builtin_prefetch(&tags_[hset + config_.ways - 1], 0, 1);
+  __builtin_prefetch(&tags_[bset], 0, 1);
+  __builtin_prefetch(&tags_[bset + config_.ways - 1], 0, 1);
+}
+
+inline bool Tlb::RehitHuge(uint64_t region, LookupResult* out) {
+  const int32_t i = huge_hit_memo_[region & (kHugeMemoSlots - 1)];
+  // Re-check what Lookup would have established: the slot may have been
+  // evicted, shot down, or reused for another region since it was memoized.
+  if (i < 0 || tags_[i] != PackedTag(region, base::PageSize::kHuge)) {
+    return false;
+  }
+  ++clock_;
+  lru_[i] = clock_;
+  ++hits_;
+  last_hit_ = i;
+  const Entry& e = entries_[i];
+  *out = LookupResult{true, base::PageSize::kHuge, e.frame, e.stamp};
+  return true;
+}
 
 }  // namespace mmu
 

@@ -9,7 +9,8 @@ namespace osim {
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       host_(config.host_frames, config.costs, this, config.seed * 2 + 1),
-      next_daemon_(config.daemon_period) {
+      next_daemon_(config.daemon_period),
+      next_event_(config.daemon_period) {
   host_fragmenter_ = std::make_unique<vmem::Fragmenter>(
       &host_.buddy(), &host_.frames(), config_.seed ^ 0x9e3779b9ull);
   tracer_.SetClock(&logical_now_);
@@ -44,6 +45,7 @@ void Machine::AddTask(std::unique_ptr<PeriodicTask> task,
                       base::Cycles period) {
   SIM_CHECK(period > 0);
   tasks_.push_back(ScheduledTask{std::move(task), period, now_ + period});
+  next_event_ = std::min(next_event_, tasks_.back().next_run);
 }
 
 VirtualMachine& Machine::vm(int32_t id) {
@@ -57,6 +59,30 @@ VirtualMachine::AccessResult Machine::Access(int32_t vm_id, uint64_t vpn,
   result.cycles += work_cycles;
   AdvanceTime(result.cycles);
   return result;
+}
+
+void Machine::AccessBatch(int32_t vm_id, std::span<const uint64_t> vpns,
+                          base::Cycles work_cycles,
+                          std::vector<VirtualMachine::AccessResult>* out) {
+  VirtualMachine& v = vm(vm_id);
+  out->resize(vpns.size());
+  v.engine().BeginBatch(vpns);
+  for (size_t i = 0; i < vpns.size(); ++i) {
+    VirtualMachine::AccessResult result = v.AccessBatched(vpns[i]);
+    result.cycles += work_cycles;
+    (*out)[i] = result;
+    // Per-access clock semantics, exactly as AdvanceTime: daemons run the
+    // moment an access crosses their boundary, and any code reading Now()
+    // mid-batch (fault handlers, tracepoints) sees the scalar timeline.
+    // The cached next-event time makes the common no-daemon-due case one
+    // compare; RunDueDaemons would reach the same conclusion by scanning.
+    now_ += result.cycles;
+    if (now_ >= next_event_) {
+      RunDueDaemons();
+    } else {
+      logical_now_ = now_;
+    }
+  }
 }
 
 void Machine::AdvanceTime(base::Cycles cycles) {
@@ -73,6 +99,7 @@ void Machine::RunDueDaemons() {
       next_event = std::min(next_event, scheduled.next_run);
     }
     if (next_event > now_) {
+      next_event_ = next_event;
       break;
     }
     // Daemons and tasks observe the boundary they fire at, never the raw

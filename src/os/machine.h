@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "os/cost_model.h"
@@ -68,6 +69,18 @@ class Machine final : public MachineHooks {
   VirtualMachine::AccessResult Access(int32_t vm_id, uint64_t vpn,
                                       base::Cycles work_cycles = 0);
 
+  // A batch of accesses, each including `work_cycles` of compute.  Resizes
+  // `out` to vpns.size() and fills one result per VPN.  Equivalent to
+  // calling Access per element — the clock advances and due daemons run
+  // after every access, so daemon schedules, fault interleavings, and
+  // Now() observations are identical at any batch size (the differential
+  // tests in tests/test_access_batch.cc pin this down).  Batching only
+  // engages the engine's memoized fast path and prefetch pipeline, plus an
+  // O(1) due-daemon check against the cached next event time.
+  void AccessBatch(int32_t vm_id, std::span<const uint64_t> vpns,
+                   base::Cycles work_cycles,
+                   std::vector<VirtualMachine::AccessResult>* out);
+
   // Advances simulated time (e.g. think time) and runs due daemons.
   void AdvanceTime(base::Cycles cycles);
 
@@ -109,6 +122,10 @@ class Machine final : public MachineHooks {
   };
   std::vector<ScheduledTask> tasks_;
   base::Cycles next_daemon_ = 0;
+  // min(next_daemon_, all tasks' next_run): the earliest time any periodic
+  // work is due.  Maintained by AddTask and RunDueDaemons so the per-access
+  // daemon check in AccessBatch is one compare instead of a task scan.
+  base::Cycles next_event_ = 0;
 };
 
 }  // namespace osim

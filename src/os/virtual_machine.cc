@@ -15,12 +15,22 @@ VirtualMachine::VirtualMachine(
 }
 
 VirtualMachine::AccessResult VirtualMachine::Access(uint64_t vpn) {
+  return AccessImpl<false>(vpn);
+}
+
+VirtualMachine::AccessResult VirtualMachine::AccessBatched(uint64_t vpn) {
+  return AccessImpl<true>(vpn);
+}
+
+template <bool kBatched>
+VirtualMachine::AccessResult VirtualMachine::AccessImpl(uint64_t vpn) {
   ++accesses_;
   AccessResult result;
   // A single access takes at most: guest fault, then host fault (the guest
   // mapping may target a not-yet-backed GFN), then a clean translation.
   for (int attempt = 0; attempt < 4; ++attempt) {
-    const mmu::TranslateResult tr = engine_.Translate(vpn);
+    const mmu::TranslateResult tr = kBatched ? engine_.TranslateBatched(vpn)
+                                             : engine_.Translate(vpn);
     switch (tr.status) {
       case mmu::TranslateStatus::kOk:
         result.cycles += tr.cycles;

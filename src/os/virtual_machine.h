@@ -36,9 +36,18 @@ class VirtualMachine {
   };
   AccessResult Access(uint64_t vpn);
 
+  // Batch-path variant: identical semantics and observable effects, but
+  // translations go through the engine's batched fast path.  The caller
+  // (Machine::AccessBatch) has announced the access window with
+  // TranslationEngine::BeginBatch.
+  AccessResult AccessBatched(uint64_t vpn);
+
   uint64_t accesses() const { return accesses_; }
 
  private:
+  template <bool kBatched>
+  AccessResult AccessImpl(uint64_t vpn);
+
   int32_t id_;
   std::unique_ptr<GuestKernel> guest_;
   HostVmKernel* host_slice_;

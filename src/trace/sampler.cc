@@ -50,6 +50,13 @@ void StackSampler::Run(base::Cycles now) {
                                    : static_cast<double>(s.tlb_misses) /
                                          static_cast<double>(lookups);
     p.stale_hits = s.tlb_stale_hits;
+    p.batches = s.batches;
+    p.batched_accesses = s.batched_accesses;
+    p.batch_region_groups = s.batch_region_groups;
+    p.batch_fastpath_hits = s.batch_fastpath_hits;
+    for (size_t b = 0; b < s.batch_size_hist.size(); ++b) {
+      p.batch_size_hist[b] = s.batch_size_hist[b];
+    }
     for (int o = 0; o < kMaxOrder; ++o) {
       p.guest_free[o] = vm.guest().buddy().FreeBlocksOfOrder(o);
       p.host_free[o] = host_buddy.FreeBlocksOfOrder(o);
@@ -62,7 +69,11 @@ std::string StackSampler::ToCsv() const {
   std::ostringstream out;
   out << "ts_cycles,vm,guest_coverage,host_coverage,guest_fmfi,host_fmfi,"
          "booking_timeout_cycles,bookings_active,bucket_held,tlb_miss_rate,"
-         "stale_hits";
+         "stale_hits,batches,batched_accesses,batch_region_groups,"
+         "batch_fastpath_hits";
+  for (int b = 0; b < 8; ++b) {
+    out << ",batch_hist_b" << b;
+  }
   for (int o = 0; o < kMaxOrder; ++o) {
     out << ",guest_free_o" << o;
   }
@@ -74,7 +85,12 @@ std::string StackSampler::ToCsv() const {
     out << p.ts << ',' << p.vm_id << ',' << p.guest_coverage << ','
         << p.host_coverage << ',' << p.guest_fmfi << ',' << p.host_fmfi << ','
         << p.booking_timeout << ',' << p.bookings_active << ','
-        << p.bucket_held << ',' << p.tlb_miss_rate << ',' << p.stale_hits;
+        << p.bucket_held << ',' << p.tlb_miss_rate << ',' << p.stale_hits
+        << ',' << p.batches << ',' << p.batched_accesses << ','
+        << p.batch_region_groups << ',' << p.batch_fastpath_hits;
+    for (int b = 0; b < 8; ++b) {
+      out << ',' << p.batch_size_hist[b];
+    }
     for (int o = 0; o < kMaxOrder; ++o) {
       out << ',' << p.guest_free[o];
     }

@@ -38,6 +38,13 @@ struct SamplePoint {
   uint64_t bucket_held = 0;          // regions retained by the huge bucket
   double tlb_miss_rate = 0.0;        // cumulative misses / lookups
   uint64_t stale_hits = 0;           // cumulative precise-invalidation misses
+  // Cumulative batch-pipeline counters (host-side effectiveness only;
+  // simulation state is batch-size-invariant).
+  uint64_t batches = 0;
+  uint64_t batched_accesses = 0;
+  uint64_t batch_region_groups = 0;
+  uint64_t batch_fastpath_hits = 0;
+  uint64_t batch_size_hist[8] = {};  // log2 batch-size buckets
   uint64_t guest_free[base::kMaxOrder] = {};  // free blocks per order
   uint64_t host_free[base::kMaxOrder] = {};
 };

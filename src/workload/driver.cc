@@ -1,10 +1,42 @@
 #include "workload/driver.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "base/check.h"
 
 namespace workload {
+
+namespace {
+
+uint64_t ResolveBatchSize(uint64_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("GEMINI_BATCH");
+      env != nullptr && env[0] != '\0') {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) {
+      return parsed;
+    }
+  }
+  return 64;
+}
+
+}  // namespace
+
+base::Cycles TouchWorkCycles(const WorkloadSpec& spec, TouchKind kind) {
+  switch (kind) {
+    case TouchKind::kInitPopulate:
+      return spec.work_per_access / 4;
+    case TouchKind::kGcSweep:
+      return spec.work_per_access / 8;
+    case TouchKind::kRequest:
+      return spec.work_per_access;
+  }
+  SIM_CHECK(false);
+  return 0;
+}
 
 WorkloadDriver::WorkloadDriver(osim::Machine* machine, int32_t vm_id)
     : machine_(machine), vm_id_(vm_id) {
@@ -28,12 +60,32 @@ void WorkloadDriver::InitVma(uint64_t start_page, uint64_t pages) {
   // Applications populate their data structures before using them; this is
   // what makes regions dense enough to promote.  The cost counts as part
   // of the run (but not as request latency).
-  for (uint64_t p = 0; p < pages; ++p) {
-    const osim::VirtualMachine::AccessResult ar =
-        machine_->Access(vm_id_, start_page + p, spec_.work_per_access / 4);
-    if (measuring_) {
-      access_cycles_ += ar.cycles;
+  TouchRange(start_page, pages, TouchKind::kInitPopulate,
+             /*charge_request=*/false);
+}
+
+void WorkloadDriver::TouchRange(uint64_t start_page, uint64_t count,
+                                TouchKind kind, bool charge_request) {
+  const base::Cycles work = TouchWorkCycles(spec_, kind);
+  for (uint64_t done = 0; done < count;) {
+    const uint64_t n = std::min(batch_size_, count - done);
+    batch_vpns_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      batch_vpns_.push_back(start_page + done + i);
     }
+    machine_->AccessBatch(vm_id_, batch_vpns_, work, &batch_results_);
+    if (measuring_) {
+      for (const osim::VirtualMachine::AccessResult& ar : batch_results_) {
+        access_cycles_ += ar.cycles;
+        if (charge_request) {
+          request_cycles_ += ar.cycles;
+        }
+        if (ar.faults_taken > 0) {
+          ++faulting_accesses_;
+        }
+      }
+    }
+    done += n;
   }
 }
 
@@ -43,6 +95,7 @@ void WorkloadDriver::Begin(const WorkloadSpec& spec,
   SIM_CHECK(spec.working_set_pages >= spec.vma_count);
   spec_ = spec;
   options_ = options;
+  batch_size_ = ResolveBatchSize(options.batch_size);
 
   osim::GuestKernel& guest = machine_->vm(vm_id_).guest();
   pages_per_vma_ = spec_.working_set_pages / spec_.vma_count;
@@ -52,6 +105,7 @@ void WorkloadDriver::Begin(const WorkloadSpec& spec,
   access_cycles_ = 0;
   request_cycles_ = 0;
   requests_ = 0;
+  faulting_accesses_ = 0;
   measuring_ = options.warmup_fraction <= 0.0;
   if (measuring_) {
     begin_snapshot_ = metrics::Snapshot(*machine_, vm_id_);
@@ -85,13 +139,45 @@ bool WorkloadDriver::Done() const { return op_ >= spec_.ops; }
 uint64_t WorkloadDriver::Step(uint64_t op_budget) {
   uint64_t ran = 0;
   while (ran < op_budget && !Done()) {
-    RunOneOp();
-    ++ran;
+    ran += RunOps(op_budget - ran);
   }
   return ran;
 }
 
-void WorkloadDriver::RunOneOp() {
+uint64_t WorkloadDriver::EventFreeOps() const {
+  // How many operations from op_ onward run without any per-op event
+  // firing (other than the ones the caller just handled for op_ itself).
+  // Any cap here is safe: AccessBatch is access-for-access equivalent to
+  // scalar Access, so chunk boundaries never change simulation results —
+  // they only bound how much the batch path can amortize.
+  uint64_t n = spec_.ops - op_;
+  if (!measuring_) {
+    // The measurement flip at warmup_ops_ re-snapshots counters and must
+    // happen between batches.
+    n = std::min(n, warmup_ops_ - op_);
+  }
+  if (spec_.alloc == AllocPattern::kGradual &&
+      vma_ids_.size() < spec_.vma_count) {
+    return 1;  // the growth target moves with op_; step one op at a time
+  }
+  if (spec_.gc_sweep_period_ops != 0) {
+    n = std::min(n, spec_.gc_sweep_period_ops -
+                        op_ % spec_.gc_sweep_period_ops);
+  }
+  if (spec_.churn_period_ops != 0) {
+    n = std::min(n, spec_.churn_period_ops - op_ % spec_.churn_period_ops);
+  }
+  if (measuring_ && spec_.kind == Kind::kLatency &&
+      spec_.accesses_per_request != 0) {
+    // A latency record snapshots the stack at the request boundary, so a
+    // batch may end exactly there but never cross it.
+    n = std::min(n, spec_.accesses_per_request -
+                        op_ % spec_.accesses_per_request);
+  }
+  return std::max<uint64_t>(n, 1);
+}
+
+uint64_t WorkloadDriver::RunOps(uint64_t op_budget) {
   osim::GuestKernel& guest = machine_->vm(vm_id_).guest();
 
   if (!measuring_ && op_ >= warmup_ops_) {
@@ -123,15 +209,8 @@ void WorkloadDriver::RunOneOp() {
   if (spec_.gc_sweep_period_ops != 0 && op_ > 0 &&
       op_ % spec_.gc_sweep_period_ops == 0) {
     for (size_t v = 0; v < vma_ids_.size(); ++v) {
-      for (uint64_t p = 0; p < pages_per_vma_; ++p) {
-        const osim::VirtualMachine::AccessResult ar =
-            machine_->Access(vm_id_, vma_starts_[v] + p,
-                             spec_.work_per_access / 8);
-        if (measuring_) {
-          access_cycles_ += ar.cycles;
-          request_cycles_ += ar.cycles;
-        }
-      }
+      TouchRange(vma_starts_[v], pages_per_vma_, TouchKind::kGcSweep,
+                 /*charge_request=*/true);
     }
   }
 
@@ -147,30 +226,45 @@ void WorkloadDriver::RunOneOp() {
     InitVma(fresh.start_page, fresh.pages);
   }
 
+  // The event-free tail: one batch of request accesses.
+  const uint64_t n =
+      std::min({op_budget, EventFreeOps(), batch_size_, uint64_t{1} << 20});
   const uint64_t active_pages = pages_per_vma_ * vma_ids_.size();
-  const uint64_t page_index = stream_->Next(active_pages);
-  const size_t vma_index =
-      std::min<size_t>(page_index / pages_per_vma_, vma_ids_.size() - 1);
-  const uint64_t vpn = vma_starts_[vma_index] + (page_index % pages_per_vma_);
-
-  const osim::VirtualMachine::AccessResult ar =
-      machine_->Access(vm_id_, vpn, spec_.work_per_access);
+  batch_vpns_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t page_index = stream_->Next(active_pages);
+    const size_t vma_index =
+        std::min<size_t>(page_index / pages_per_vma_, vma_ids_.size() - 1);
+    batch_vpns_.push_back(vma_starts_[vma_index] +
+                          (page_index % pages_per_vma_));
+  }
+  machine_->AccessBatch(vm_id_, batch_vpns_,
+                        TouchWorkCycles(spec_, TouchKind::kRequest),
+                        &batch_results_);
   if (measuring_) {
-    access_cycles_ += ar.cycles;
-    request_cycles_ += ar.cycles;
-    if (spec_.kind == Kind::kLatency &&
-        (op_ + 1) % spec_.accesses_per_request == 0) {
-      const metrics::StackSnapshot s = metrics::Snapshot(*machine_, vm_id_);
-      const base::Cycles oh =
-          s.guest_overhead_cycles + s.host_overhead_cycles;
-      latencies_->Record(static_cast<double>(request_cycles_) +
-                         static_cast<double>(oh - request_overhead_base_));
-      request_overhead_base_ = oh;
-      request_cycles_ = 0;
-      ++requests_;
+    for (const osim::VirtualMachine::AccessResult& ar : batch_results_) {
+      access_cycles_ += ar.cycles;
+      request_cycles_ += ar.cycles;
+      if (ar.faults_taken > 0) {
+        ++faulting_accesses_;
+      }
     }
   }
-  ++op_;
+  op_ += n;
+  // EventFreeOps never lets a batch cross a request boundary, so a record
+  // is due exactly when the batch ended on one.
+  if (measuring_ && spec_.kind == Kind::kLatency &&
+      spec_.accesses_per_request != 0 &&
+      op_ % spec_.accesses_per_request == 0) {
+    const metrics::StackSnapshot s = metrics::Snapshot(*machine_, vm_id_);
+    const base::Cycles oh = s.guest_overhead_cycles + s.host_overhead_cycles;
+    latencies_->Record(static_cast<double>(request_cycles_) +
+                       static_cast<double>(oh - request_overhead_base_));
+    request_overhead_base_ = oh;
+    request_cycles_ = 0;
+    ++requests_;
+  }
+  return n;
 }
 
 RunResult WorkloadDriver::Finish() {
@@ -197,6 +291,7 @@ RunResult WorkloadDriver::Finish() {
                              ? 0.0
                              : static_cast<double>(delta.tlb_misses) /
                                    static_cast<double>(lookups);
+  result.faulting_accesses = faulting_accesses_;
   result.counters = delta;
   result.alignment = metrics::AuditAlignment(
       guest.table(), machine_->vm(vm_id_).host_slice().table());

@@ -39,6 +39,12 @@ struct RunResult {
   uint64_t tlb_hits = 0;
   uint64_t tlb_misses = 0;
   double tlb_miss_rate = 0.0;
+  // Measured-phase accesses that took at least one page fault (cold
+  // misses): each such access contributes exactly one counted TLB miss,
+  // because faulting translate attempts are uncounted and retried.  The
+  // fig16 miss-source breakdown classifies misses as cold (this), precise
+  // invalidation (stale_hits), or capacity/conflict (the remainder).
+  uint64_t faulting_accesses = 0;
   metrics::AlignmentReport alignment;
   metrics::StackSnapshot counters;  // deltas over the measured phase
 };
@@ -54,7 +60,20 @@ struct DriverOptions {
   // Tear the workload's VMAs down after the run (models process exit; used
   // between phases of the reused-VM experiments).
   bool teardown = false;
+  // Maximum accesses per Machine::AccessBatch call.  0 resolves to
+  // $GEMINI_BATCH, or 64 if unset.  Simulation results are identical at
+  // any value (Machine::AccessBatch is access-for-access equivalent to
+  // scalar Access); this only tunes host-side amortization.
+  uint64_t batch_size = 0;
 };
+
+// The workload's per-access compute charged by each of the driver's three
+// touch paths.  Request accesses carry the workload's full think time;
+// init-population touches model a tight fill loop (a quarter of it), and
+// GC sweep touches a pointer-chasing scan (an eighth).  Centralized so the
+// divisors stay consistent across the paths and testable in isolation.
+enum class TouchKind { kInitPopulate, kGcSweep, kRequest };
+base::Cycles TouchWorkCycles(const WorkloadSpec& spec, TouchKind kind);
 
 class WorkloadDriver {
  public:
@@ -76,8 +95,17 @@ class WorkloadDriver {
   void TearDownAll();
 
  private:
-  void RunOneOp();
+  // Runs pending per-op events (measurement flip, gradual growth, GC
+  // sweep, churn), then a batch of up to min(op_budget, batch_size_)
+  // event-free operations.  Returns how many operations ran (>= 1).
+  uint64_t RunOps(uint64_t op_budget);
+  // Number of operations starting at op_ before the next per-op event
+  // (warmup flip, growth step, GC sweep, churn, latency record boundary).
+  uint64_t EventFreeOps() const;
   void InitVma(uint64_t start_page, uint64_t pages);
+  // Issues pages [start, start + count) as batches of batch_size_.
+  void TouchRange(uint64_t start_page, uint64_t count, TouchKind kind,
+                  bool charge_request);
 
   osim::Machine* machine_;
   int32_t vm_id_;
@@ -99,6 +127,11 @@ class WorkloadDriver {
   base::Cycles request_cycles_ = 0;
   base::Cycles request_overhead_base_ = 0;
   uint64_t requests_ = 0;
+  uint64_t faulting_accesses_ = 0;
+  uint64_t batch_size_ = 64;  // resolved in Begin
+  // Scratch buffers reused across batches.
+  std::vector<uint64_t> batch_vpns_;
+  std::vector<osim::VirtualMachine::AccessResult> batch_results_;
 };
 
 }  // namespace workload

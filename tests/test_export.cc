@@ -26,6 +26,11 @@ workload::RunResult SampleResult() {
   r.counters.bookings_expired = 3;
   r.counters.bucket_hits = 5;
   r.counters.demotions = 2;
+  r.counters.batches = 13;
+  r.counters.batched_accesses = 832;
+  r.counters.batch_region_groups = 40;
+  r.counters.batch_fastpath_hits = 700;
+  r.counters.batch_size_hist = {1, 0, 0, 0, 0, 0, 12, 0};
   r.busy_cycles = 123456;
   return r;
 }
@@ -36,7 +41,7 @@ TEST(Export, CsvHasHeaderAndRow) {
       metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
   EXPECT_NE(csv.find("workload,system,throughput"), std::string::npos);
   EXPECT_NE(csv.find("Redis,Gemini,1.5,1000,2000,42,6,0.25,0.875,7,9,11,3,5,"
-                     "2,123456"),
+                     "2,13,832,40,700,1,0,0,0,0,0,12,0,123456"),
             std::string::npos);
 }
 
@@ -98,7 +103,7 @@ TEST(Export, CarriesMechanismCounters) {
   const std::string csv =
       metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
   EXPECT_NE(csv.find("bookings_started,bookings_expired,bucket_hits,"
-                     "demotions,busy_cycles"),
+                     "demotions,batches"),
             std::string::npos);
   const std::string json =
       metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
@@ -117,6 +122,24 @@ TEST(Export, CarriesStaleHitColumn) {
   const std::string json =
       metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
   EXPECT_NE(json.find("\"stale_hits\": 6"), std::string::npos);
+}
+
+TEST(Export, CarriesBatchPipelineColumns) {
+  const auto r = SampleResult();
+  const std::string csv =
+      metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(csv.find("batches,batched_accesses,batch_region_groups,"
+                     "batch_fastpath_hits,batch_hist_b0"),
+            std::string::npos);
+  EXPECT_NE(csv.find("batch_hist_b7,busy_cycles,wall_ms,seed\n"),
+            std::string::npos);
+  const std::string json =
+      metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(json.find("\"batches\": 13"), std::string::npos);
+  EXPECT_NE(json.find("\"batched_accesses\": 832"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_region_groups\": 40"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_fastpath_hits\": 700"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_hist_b6\": 12"), std::string::npos);
 }
 
 TEST(Export, JsonCarriesWallTimeAndSeed) {

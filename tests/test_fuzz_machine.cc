@@ -1,7 +1,8 @@
 // Randomized end-to-end consistency test: drives a full machine (random
-// system choice, random VMA map/unmap/access/daemon interleavings, random
-// fragmentation and pressure) and verifies global invariants after every
-// burst:
+// system choice, random VMA map/unmap/access/daemon interleavings — with
+// access bursts randomly issued scalar or through AccessBatch at assorted
+// batch sizes — random fragmentation and pressure) and verifies global
+// invariants after every burst:
 //
 //  * frame conservation at both layers (buddy + mapped + held == total is
 //    checked inside BuddyAllocator::CheckInvariants),
@@ -11,7 +12,9 @@
 //  * the alignment audit agrees with a brute-force recomputation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "base/rng.h"
@@ -67,12 +70,34 @@ TEST_P(MachineFuzzTest, RandomOpsKeepInvariants) {
       vm.guest().UnmapVma(vmas[victim].id);
       vmas.erase(vmas.begin() + static_cast<long>(victim));
     } else if (dice < 0.9 && !vmas.empty()) {
-      // A burst of accesses into a random VMA.
+      // A burst of accesses into a random VMA — scalar and batched epochs
+      // interleave freely, with batch sizes spanning sub-daemon-period
+      // chunks up to batches long enough that promotions, demotions, and
+      // reclaim fire mid-batch.  The batch path shares all machine state
+      // with the scalar path, so the invariants below (and the engine
+      // re-derivation check) must hold regardless of the interleaving.
       const LiveVma& vma = vmas[rng.NextBelow(vmas.size())];
-      for (int i = 0; i < 200; ++i) {
-        const uint64_t vpn = vma.start + rng.NextBelow(vma.pages);
-        const auto r = machine.Access(0, vpn, 50);
-        ASSERT_GT(r.cycles, 0u);
+      if (rng.NextBool(0.5)) {
+        for (int i = 0; i < 200; ++i) {
+          const uint64_t vpn = vma.start + rng.NextBelow(vma.pages);
+          const auto r = machine.Access(0, vpn, 50);
+          ASSERT_GT(r.cycles, 0u);
+        }
+      } else {
+        static constexpr uint64_t kBatchSizes[] = {3, 64, 512};
+        const uint64_t batch = kBatchSizes[rng.NextBelow(3)];
+        std::vector<uint64_t> vpns(200);
+        for (auto& v : vpns) {
+          v = vma.start + rng.NextBelow(vma.pages);
+        }
+        std::vector<osim::VirtualMachine::AccessResult> out;
+        for (size_t i = 0; i < vpns.size(); i += batch) {
+          const size_t n = std::min<size_t>(batch, vpns.size() - i);
+          machine.AccessBatch(0, std::span(vpns.data() + i, n), 50, &out);
+          for (const auto& r : out) {
+            ASSERT_GT(r.cycles, 0u);
+          }
+        }
       }
     } else {
       machine.AdvanceTime(config.daemon_period * (1 + rng.NextBelow(5)));

@@ -5,6 +5,7 @@
 #include "base/types.h"
 #include "metrics/alignment_audit.h"
 #include "metrics/counters.h"
+#include "metrics/miss_breakdown.h"
 #include "metrics/perf_model.h"
 #include "metrics/table.h"
 #include "mmu/page_table.h"
@@ -109,6 +110,40 @@ TEST(TextTable, PrintDoesNotCrash) {
   table.AddRow({"Canneal", "1.10", "1.52"});
   table.AddRow({"Redis", "0.98", "1.41"});
   table.Print();  // visual output; just exercise the path
+}
+
+TEST(TextTable, RenderMatchesPrintFormat) {
+  metrics::TextTable table("demo");
+  table.SetColumns({"a", "bb"});
+  table.AddRow({"xxx", "y"});
+  EXPECT_EQ(table.Render(),
+            "\n== demo ==\n"
+            "a    bb\n"
+            "-------\n"
+            "xxx  y \n");
+}
+
+TEST(MissBreakdown, CapacityIsClampedRemainder) {
+  metrics::MissSourceRow row{"w", 100, 30, 20};
+  EXPECT_EQ(metrics::CapacityMisses(row), 50u);
+  // Warm-up truncation can over-count cold misses; never underflow.
+  row.cold = 95;
+  EXPECT_EQ(metrics::CapacityMisses(row), 0u);
+}
+
+TEST(MissBreakdown, GoldenTable) {
+  const std::vector<metrics::MissSourceRow> rows = {
+      {"Canneal", 1000, 250, 250},
+      {"Redis", 200, 0, 100},
+  };
+  EXPECT_EQ(metrics::RenderMissBreakdown(rows),
+            "\n== Figure 16 companion: TLB miss sources (cold vs precise "
+            "invalidation vs capacity) ==\n"
+            "workload  misses  cold  precise inval  capacity\n"
+            "-----------------------------------------------\n"
+            "Canneal   1000    25%   25%            50%     \n"
+            "Redis     200     0%    50%            50%     \n"
+            "average           12%   38%            50%     \n");
 }
 
 }  // namespace

@@ -248,4 +248,29 @@ TEST_F(DriverTest, NoGcSweepLeavesSparseRegions) {
             spec.working_set_pages);
 }
 
+TEST(TouchWorkCycles, OneDivisorPerTouchPath) {
+  workload::WorkloadSpec spec;
+  spec.work_per_access = 320;
+  // Request accesses carry the full think time; init fills model a tight
+  // loop at a quarter of it, GC sweeps a pointer-chasing scan at an
+  // eighth.  These divisors are part of the benchmark contract (figure
+  // cycle totals shift if any path drifts), so they are pinned here.
+  EXPECT_EQ(
+      workload::TouchWorkCycles(spec, workload::TouchKind::kRequest), 320u);
+  EXPECT_EQ(
+      workload::TouchWorkCycles(spec, workload::TouchKind::kInitPopulate),
+      80u);
+  EXPECT_EQ(
+      workload::TouchWorkCycles(spec, workload::TouchKind::kGcSweep), 40u);
+  // Integer division truncates; all paths share that rounding rule.
+  spec.work_per_access = 7;
+  EXPECT_EQ(
+      workload::TouchWorkCycles(spec, workload::TouchKind::kRequest), 7u);
+  EXPECT_EQ(
+      workload::TouchWorkCycles(spec, workload::TouchKind::kInitPopulate),
+      1u);
+  EXPECT_EQ(
+      workload::TouchWorkCycles(spec, workload::TouchKind::kGcSweep), 0u);
+}
+
 }  // namespace

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Diff two bench_translation JSON exports and print a markdown report.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json
+
+Scenarios are matched by name; the report shows mops_per_s for both
+sides and the current/baseline ratio.  Scenarios present on only one
+side (e.g. the batched modes, which the committed PR-3 baseline
+predates) are listed separately rather than silently dropped.
+
+This tool is report-only by design: it always exits 0 after a
+successful comparison, because CI runners are too noisy for threshold
+gating (see BENCHMARKS.md).  It exits non-zero only when an input file
+is missing or malformed.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    return {row["scenario"]: row for row in rows}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline = load(argv[1])
+    current = load(argv[2])
+
+    shared = [name for name in baseline if name in current]
+    only_base = [name for name in baseline if name not in current]
+    only_curr = [name for name in current if name not in baseline]
+
+    print("### Translation microbenchmark vs committed baseline")
+    print()
+    print("| scenario | baseline Mops/s | current Mops/s | ratio |")
+    print("|---|---:|---:|---:|")
+    for name in shared:
+        old = baseline[name]["mops_per_s"]
+        new = current[name]["mops_per_s"]
+        ratio = new / old if old > 0 else float("inf")
+        print(f"| {name} | {old:.2f} | {new:.2f} | {ratio:.2f}x |")
+    if only_curr:
+        print()
+        print("New scenarios (no committed baseline): "
+              + ", ".join(f"`{n}` {current[n]['mops_per_s']:.2f} Mops/s"
+                          for n in only_curr))
+    if only_base:
+        print()
+        print("Baseline scenarios missing from this run: "
+              + ", ".join(f"`{n}`" for n in only_base))
+    print()
+    print("_Report-only: ratios on shared CI runners are noisy; this step "
+          "never fails the build._")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
