@@ -122,7 +122,11 @@ int main() {
     const auto& full_run = cells[n * kVariants + 1].result;
     miss_rows.push_back(metrics::MissSourceRow{
         names[n], full_run.tlb_misses, full_run.faulting_accesses,
-        full_run.counters.tlb_stale_hits});
+        full_run.counters.tlb_stale_hits,
+        full_run.counters.tlb_conflict_evictions_base,
+        full_run.counters.tlb_conflict_evictions_huge,
+        full_run.counters.tlb_capacity_evictions_base,
+        full_run.counters.tlb_capacity_evictions_huge});
   }
   std::fputs(metrics::RenderMissBreakdown(miss_rows).c_str(), stdout);
 

@@ -6,6 +6,11 @@
 // Expected shape: Gemini best or tied on sensitive pairs; on insensitive
 // workloads (Shore, SP.D) all systems are within a few percent of base —
 // Gemini introduces negligible overhead (paper: ~2-3 %).
+//
+// GEMINI_TLB_MODE adds a sweep dimension over the TLB sharing arrangement
+// (private / shared / partitioned, see mmu/tlb_domain.h): one table per
+// mode, and export rows tagged with the mode.  Default (unset) runs the
+// historical private arrangement only, with byte-identical output.
 #include "bench/bench_common.h"
 
 namespace {
@@ -28,31 +33,49 @@ int main() {
       {"Silo", "Shore"},      // sensitive + insensitive
   };
   const auto systems = harness::AllSystems();
+  const auto modes = harness::TlbModesFromEnv();
+  // The historical single-mode run prints the historical table; a mode
+  // sweep annotates each table with its arrangement.
+  const bool annotate_mode =
+      modes.size() > 1 || modes[0] != mmu::TlbShareMode::kPrivate;
   harness::BedOptions bed;
   bed.host_frames = 640 * 1024;  // room for two VMs
 
+  const size_t per_mode = pairs.size() * systems.size();
   harness::SweepRunnerOptions options;
   options.label = "fig17_collocated";
   options.cell_name = [&](size_t i) {
-    const Pair& pair = pairs[i / systems.size()];
-    return std::string(pair.vm0) + "+" + pair.vm1 + " x " +
-           std::string(harness::SystemName(systems[i % systems.size()]));
+    const Pair& pair = pairs[(i % per_mode) / systems.size()];
+    std::string name = std::string(pair.vm0) + "+" + pair.vm1 + " x " +
+                       std::string(harness::SystemName(
+                           systems[i % systems.size()]));
+    if (annotate_mode) {
+      name += std::string(" [tlb=") +
+              mmu::TlbShareModeName(modes[i / per_mode]) + "]";
+    }
+    return name;
   };
   const auto cells = harness::ParallelMap(
-      pairs.size() * systems.size(),
+      modes.size() * per_mode,
       [&](size_t i) {
-        const Pair& pair = pairs[i / systems.size()];
+        const Pair& pair = pairs[(i % per_mode) / systems.size()];
         const auto spec0 = bench::MaybeFast(workload::SpecByName(pair.vm0));
         const auto spec1 = bench::MaybeFast(workload::SpecByName(pair.vm1));
+        harness::BedOptions cell_bed = bed;
+        cell_bed.tlb_mode = modes[i / per_mode];
         const auto start = std::chrono::steady_clock::now();
         Cell cell;
         cell.result = harness::RunCollocated(
             systems[i % systems.size()], spec0, spec1,
             bench::TracedBed(
-                bed, "fig17_collocated", i,
+                cell_bed, "fig17_collocated", i,
                 std::string(pair.vm0) + "_" + pair.vm1 + "_" +
                     std::string(harness::SystemName(
-                        systems[i % systems.size()]))));
+                        systems[i % systems.size()])) +
+                    (annotate_mode
+                         ? std::string("_") +
+                               mmu::TlbShareModeName(modes[i / per_mode])
+                         : std::string())));
         cell.wall_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
                            .count();
@@ -60,47 +83,56 @@ int main() {
       },
       std::move(options));
 
-  metrics::TextTable table(
-      "Figure 17: collocated-VM throughput (normalized to Host-B-VM-B)");
-  std::vector<std::string> columns{"VM / workload"};
-  for (harness::SystemKind kind : systems) {
-    columns.emplace_back(harness::SystemName(kind));
-  }
-  table.SetColumns(columns);
-
   std::vector<metrics::ResultRow> rows;
-  for (size_t p = 0; p < pairs.size(); ++p) {
-    const Pair& pair = pairs[p];
-    const Cell* row_cells = &cells[p * systems.size()];
-    size_t base_index = 0;
-    for (size_t k = 0; k < systems.size(); ++k) {
-      if (systems[k] == harness::SystemKind::kHostBVmB) {
-        base_index = k;
+  for (size_t m = 0; m < modes.size(); ++m) {
+    const char* mode_name = mmu::TlbShareModeName(modes[m]);
+    std::string title =
+        "Figure 17: collocated-VM throughput (normalized to Host-B-VM-B)";
+    if (annotate_mode) {
+      title += std::string(" [tlb=") + mode_name + "]";
+    }
+    metrics::TextTable table(title);
+    std::vector<std::string> columns{"VM / workload"};
+    for (harness::SystemKind kind : systems) {
+      columns.emplace_back(harness::SystemName(kind));
+    }
+    table.SetColumns(columns);
+
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const Pair& pair = pairs[p];
+      const Cell* row_cells = &cells[m * per_mode + p * systems.size()];
+      size_t base_index = 0;
+      for (size_t k = 0; k < systems.size(); ++k) {
+        if (systems[k] == harness::SystemKind::kHostBVmB) {
+          base_index = k;
+        }
       }
+      const double base0 = row_cells[base_index].result.vm0.throughput;
+      const double base1 = row_cells[base_index].result.vm1.throughput;
+      std::vector<std::string> row0{std::string("vm0 ") + pair.vm0};
+      std::vector<std::string> row1{std::string("vm1 ") + pair.vm1};
+      for (size_t k = 0; k < systems.size(); ++k) {
+        row0.push_back(metrics::TextTable::Fmt(
+            metrics::Normalize(row_cells[k].result.vm0.throughput, base0)));
+        row1.push_back(metrics::TextTable::Fmt(
+            metrics::Normalize(row_cells[k].result.vm1.throughput, base1)));
+        const std::string tag =
+            std::string(pair.vm0) + "+" + pair.vm1;
+        const std::string system(harness::SystemName(systems[k]));
+        rows.push_back(metrics::ResultRow{tag + "/vm0", system,
+                                          &row_cells[k].result.vm0,
+                                          row_cells[k].wall_ms, bed.seed,
+                                          mode_name});
+        rows.push_back(metrics::ResultRow{tag + "/vm1", system,
+                                          &row_cells[k].result.vm1,
+                                          row_cells[k].wall_ms, bed.seed,
+                                          mode_name});
+      }
+      table.AddRow(row0);
+      table.AddRow(row1);
     }
-    const double base0 = row_cells[base_index].result.vm0.throughput;
-    const double base1 = row_cells[base_index].result.vm1.throughput;
-    std::vector<std::string> row0{std::string("vm0 ") + pair.vm0};
-    std::vector<std::string> row1{std::string("vm1 ") + pair.vm1};
-    for (size_t k = 0; k < systems.size(); ++k) {
-      row0.push_back(metrics::TextTable::Fmt(
-          metrics::Normalize(row_cells[k].result.vm0.throughput, base0)));
-      row1.push_back(metrics::TextTable::Fmt(
-          metrics::Normalize(row_cells[k].result.vm1.throughput, base1)));
-      const std::string tag =
-          std::string(pair.vm0) + "+" + pair.vm1;
-      const std::string system(harness::SystemName(systems[k]));
-      rows.push_back(metrics::ResultRow{tag + "/vm0", system,
-                                        &row_cells[k].result.vm0,
-                                        row_cells[k].wall_ms, bed.seed});
-      rows.push_back(metrics::ResultRow{tag + "/vm1", system,
-                                        &row_cells[k].result.vm1,
-                                        row_cells[k].wall_ms, bed.seed});
-    }
-    table.AddRow(row0);
-    table.AddRow(row1);
+    table.Print();
   }
-  table.Print();
   bench::ExportRows("fig17_collocated", rows);
   return 0;
 }

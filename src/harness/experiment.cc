@@ -60,6 +60,8 @@ TestBed MakeTestBed(SystemKind kind, const BedOptions& options,
   osim::MachineConfig config;
   config.host_frames = options.host_frames;
   config.seed = options.seed;
+  config.tlb_mode = options.tlb_mode;
+  config.tlb_partition_ways = options.tlb_partition_ways;
   bed.machine = std::make_unique<osim::Machine>(config);
   bed.sampler = trace::SetupTracing(*bed.machine, options.trace);
   osim::VirtualMachine& vm =
@@ -138,6 +140,8 @@ CollocatedResult RunCollocated(SystemKind kind,
   osim::MachineConfig config;
   config.host_frames = options.host_frames;
   config.seed = options.seed;
+  config.tlb_mode = options.tlb_mode;
+  config.tlb_partition_ways = options.tlb_partition_ways;
   auto machine = std::make_unique<osim::Machine>(config);
   trace::StackSampler* sampler = trace::SetupTracing(*machine, options.trace);
   osim::VirtualMachine& vm0 =
@@ -187,6 +191,46 @@ workload::WorkloadSpec ScaleSpec(const workload::WorkloadSpec& spec,
 bool FastMode() {
   const char* env = std::getenv("GEMINI_FAST");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+bool ParseTlbShareMode(const std::string& name, mmu::TlbShareMode* mode) {
+  if (name == "private") {
+    *mode = mmu::TlbShareMode::kPrivate;
+  } else if (name == "shared") {
+    *mode = mmu::TlbShareMode::kShared;
+  } else if (name == "partitioned") {
+    *mode = mmu::TlbShareMode::kPartitioned;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<mmu::TlbShareMode> TlbModesFromEnv() {
+  const char* env = std::getenv("GEMINI_TLB_MODE");
+  if (env == nullptr || env[0] == '\0') {
+    return {mmu::TlbShareMode::kPrivate};
+  }
+  const std::string spec(env);
+  if (spec == "all") {
+    return {mmu::TlbShareMode::kPrivate, mmu::TlbShareMode::kShared,
+            mmu::TlbShareMode::kPartitioned};
+  }
+  std::vector<mmu::TlbShareMode> modes;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string name = spec.substr(start, comma - start);
+    mmu::TlbShareMode mode;
+    SIM_CHECK_MSG(ParseTlbShareMode(name, &mode),
+                  "GEMINI_TLB_MODE: unknown mode '%s'", name.c_str());
+    modes.push_back(mode);
+    start = comma + 1;
+  }
+  return modes;
 }
 
 }  // namespace harness

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness/systems.h"
+#include "mmu/tlb_domain.h"
 #include "trace/session.h"
 #include "workload/catalog.h"
 #include "workload/driver.h"
@@ -34,6 +35,12 @@ struct BedOptions {
   // Observability: when trace.enabled, the machine records tracepoints and
   // time series, written by the Run* helpers when the measurement ends.
   trace::TraceConfig trace;
+  // TLB sharing arrangement for the machine's VMs (mmu/tlb_domain.h).
+  // kPrivate reproduces the historical per-engine TLB exactly; kShared /
+  // kPartitioned make collocated VMs contend for one physical array.
+  mmu::TlbShareMode tlb_mode = mmu::TlbShareMode::kPrivate;
+  // kPartitioned: ways per VM (0 = even split over the two collocated VMs).
+  uint32_t tlb_partition_ways = 0;
 };
 
 // A single-VM testbed under one system.
@@ -85,6 +92,17 @@ workload::WorkloadSpec ScaleSpec(const workload::WorkloadSpec& spec,
 
 // True if the GEMINI_FAST env var requests abbreviated benchmark runs.
 bool FastMode();
+
+// Parses a TLB sharing-mode name ("private" / "shared" / "partitioned").
+// Returns false (and leaves *mode untouched) on anything else.
+bool ParseTlbShareMode(const std::string& name, mmu::TlbShareMode* mode);
+
+// The sharing modes a collocated bench should sweep, from GEMINI_TLB_MODE:
+// a mode name, a comma-separated list, or "all" for all three.  Unset or
+// empty means {kPrivate} — the historical single-mode output.  Aborts on
+// an unrecognized name (silently measuring the wrong mode would poison
+// comparisons).
+std::vector<mmu::TlbShareMode> TlbModesFromEnv();
 
 }  // namespace harness
 

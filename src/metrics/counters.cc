@@ -8,6 +8,18 @@ StackSnapshot StackSnapshot::Delta(const StackSnapshot& earlier) const {
   d.tlb_misses = tlb_misses - earlier.tlb_misses;
   d.tlb_stale_hits = tlb_stale_hits - earlier.tlb_stale_hits;
   d.tlb_shootdowns = tlb_shootdowns - earlier.tlb_shootdowns;
+  d.tlb_vm_invalidated = tlb_vm_invalidated - earlier.tlb_vm_invalidated;
+  d.tlb_cross_vm_evictions =
+      tlb_cross_vm_evictions - earlier.tlb_cross_vm_evictions;
+  d.tlb_conflict_evictions_base =
+      tlb_conflict_evictions_base - earlier.tlb_conflict_evictions_base;
+  d.tlb_conflict_evictions_huge =
+      tlb_conflict_evictions_huge - earlier.tlb_conflict_evictions_huge;
+  d.tlb_capacity_evictions_base =
+      tlb_capacity_evictions_base - earlier.tlb_capacity_evictions_base;
+  d.tlb_capacity_evictions_huge =
+      tlb_capacity_evictions_huge - earlier.tlb_capacity_evictions_huge;
+  d.tlb_flushes = tlb_flushes - earlier.tlb_flushes;
   d.translation_cycles = translation_cycles - earlier.translation_cycles;
   d.guest_fault_cycles = guest_fault_cycles - earlier.guest_fault_cycles;
   d.guest_overhead_cycles =
@@ -38,6 +50,14 @@ StackSnapshot Snapshot(osim::Machine& machine, int32_t vm_id) {
   s.tlb_misses = vm.engine().tlb().misses();
   s.tlb_stale_hits = vm.engine().tlb().stale_hits();
   s.tlb_shootdowns = vm.engine().tlb().shootdowns();
+  const mmu::TlbView& tlb = vm.engine().tlb();
+  s.tlb_vm_invalidated = tlb.vm_invalidated();
+  s.tlb_cross_vm_evictions = tlb.cross_vm_evictions();
+  s.tlb_conflict_evictions_base = tlb.conflict_evictions_base();
+  s.tlb_conflict_evictions_huge = tlb.conflict_evictions_huge();
+  s.tlb_capacity_evictions_base = tlb.capacity_evictions_base();
+  s.tlb_capacity_evictions_huge = tlb.capacity_evictions_huge();
+  s.tlb_flushes = tlb.flushes();
   s.translation_cycles = vm.engine().translation_cycles();
   const osim::KernelStats& g = vm.guest().stats();
   s.guest_fault_cycles = g.fault_cycles;

@@ -19,6 +19,22 @@ struct StackSnapshot {
   // included in tlb_misses; this splits them out from cold/capacity misses.
   uint64_t tlb_stale_hits = 0;
   uint64_t tlb_shootdowns = 0;
+  // TLB sharing-domain counters (zero under a private TLB arrangement).
+  // Entries of this VM dropped by tagged selective invalidation — counted
+  // per entry, unlike tlb_flushes which counts whole-array wipes.
+  uint64_t tlb_vm_invalidated = 0;
+  // This VM's entries evicted by another VM's fills on a shared array.
+  uint64_t tlb_cross_vm_evictions = 0;
+  // Evictions of this VM's entries split by whether the inserting VM still
+  // had free ways elsewhere in its window (conflict) or not (true
+  // capacity), per evicted-entry page size.
+  uint64_t tlb_conflict_evictions_base = 0;
+  uint64_t tlb_conflict_evictions_huge = 0;
+  uint64_t tlb_capacity_evictions_base = 0;
+  uint64_t tlb_capacity_evictions_huge = 0;
+  // Whole-array flushes of the physical TLB this VM translates through
+  // (kept separate from tlb_vm_invalidated so private-mode goldens hold).
+  uint64_t tlb_flushes = 0;
   base::Cycles translation_cycles = 0;
   base::Cycles guest_fault_cycles = 0;
   base::Cycles guest_overhead_cycles = 0;

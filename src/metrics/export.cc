@@ -60,7 +60,8 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
          "batches,batched_accesses,batch_region_groups,batch_fastpath_hits,"
          "batch_hist_b0,batch_hist_b1,batch_hist_b2,batch_hist_b3,"
          "batch_hist_b4,batch_hist_b5,batch_hist_b6,batch_hist_b7,"
-         "busy_cycles,wall_ms,seed\n";
+         "tlb_mode,cross_vm_evictions,vm_invalidated,conflict_evictions,"
+         "capacity_evictions,busy_cycles,wall_ms,seed\n";
   for (const ResultRow& row : rows) {
     SIM_CHECK(row.result != nullptr);
     const workload::RunResult& r = *row.result;
@@ -78,6 +79,14 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
     for (const uint64_t bucket : r.counters.batch_size_hist) {
       out << ',' << bucket;
     }
+    out << ',' << EscapeCsv(row.tlb_mode) << ','
+        << r.counters.tlb_cross_vm_evictions << ','
+        << r.counters.tlb_vm_invalidated << ','
+        << (r.counters.tlb_conflict_evictions_base +
+            r.counters.tlb_conflict_evictions_huge)
+        << ','
+        << (r.counters.tlb_capacity_evictions_base +
+            r.counters.tlb_capacity_evictions_huge);
     out << ',' << r.busy_cycles << ',' << row.wall_ms << ',' << row.seed
         << '\n';
   }
@@ -113,6 +122,15 @@ std::string ToJson(const std::vector<ResultRow>& rows) {
       out << ", \"batch_hist_b" << b
           << "\": " << r.counters.batch_size_hist[b];
     }
+    out << ", \"tlb_mode\": \"" << EscapeJson(rows[i].tlb_mode) << '"'
+        << ", \"cross_vm_evictions\": " << r.counters.tlb_cross_vm_evictions
+        << ", \"vm_invalidated\": " << r.counters.tlb_vm_invalidated
+        << ", \"conflict_evictions\": "
+        << (r.counters.tlb_conflict_evictions_base +
+            r.counters.tlb_conflict_evictions_huge)
+        << ", \"capacity_evictions\": "
+        << (r.counters.tlb_capacity_evictions_base +
+            r.counters.tlb_capacity_evictions_huge);
     out << ", \"busy_cycles\": " << r.busy_cycles
         << ", \"wall_ms\": " << rows[i].wall_ms
         << ", \"seed\": " << rows[i].seed << '}'

@@ -31,6 +31,15 @@
 //   batch_fastpath_hits | int  | translations resolved by the batch memo
 //   batch_hist_b0..b7 | int    | batches with floor(log2(size)) == b
 //                     |        | (b7 holds 128+)
+//   tlb_mode          | string | TLB sharing arrangement of the cell:
+//                     |        | private / shared / partitioned
+//   cross_vm_evictions| int    | this VM's TLB entries evicted by another
+//                     |        | VM's fills (0 under private)
+//   vm_invalidated    | int    | entries dropped by tagged selective
+//                     |        | invalidation of this VM (0 under private)
+//   conflict_evictions| int    | valid-entry evictions while free ways
+//                     |        | remained elsewhere in the inserter's window
+//   capacity_evictions| int    | valid-entry evictions with the window full
 //   busy_cycles       | int    | simulated cycles of the measured phase
 //   wall_ms           | number | host wall-clock of the cell, milliseconds
 //   seed              | int    | BedOptions::seed that produced the cell
@@ -60,6 +69,8 @@ struct ResultRow {
   const workload::RunResult* result = nullptr;
   double wall_ms = 0.0;  // host wall-clock spent computing the cell
   uint64_t seed = 0;     // harness::BedOptions::seed of the cell
+  // TLB sharing arrangement the cell ran under (TlbShareModeName).
+  std::string tlb_mode = "private";
 };
 
 // Renders rows as CSV with a fixed header:
@@ -67,7 +78,8 @@ struct ResultRow {
 // tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,bookings_started,
 // bookings_expired,bucket_hits,demotions,batches,batched_accesses,
 // batch_region_groups,batch_fastpath_hits,batch_hist_b0..batch_hist_b7,
-// busy_cycles,wall_ms,seed
+// tlb_mode,cross_vm_evictions,vm_invalidated,conflict_evictions,
+// capacity_evictions,busy_cycles,wall_ms,seed
 std::string ToCsv(const std::vector<ResultRow>& rows);
 
 // Renders rows as a JSON array of objects with the same fields.

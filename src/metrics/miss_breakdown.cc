@@ -10,31 +10,65 @@ uint64_t CapacityMisses(const MissSourceRow& row) {
   return row.tlb_misses > classified ? row.tlb_misses - classified : 0;
 }
 
+CapacitySplit SplitCapacityMisses(const MissSourceRow& row) {
+  CapacitySplit split;
+  const uint64_t capacity = CapacityMisses(row);
+  const uint64_t evictions =
+      row.conflict_evictions_base + row.conflict_evictions_huge +
+      row.capacity_evictions_base + row.capacity_evictions_huge;
+  if (evictions == 0) {
+    // No eviction telemetry (e.g. the working set never filled a set):
+    // nothing to attribute to conflicts.
+    split.true_capacity = capacity;
+    return split;
+  }
+  // Integer apportionment: floor the conflict parts, give the remainder to
+  // true capacity so the three always sum to `capacity`.
+  split.conflict_base = capacity * row.conflict_evictions_base / evictions;
+  split.conflict_huge = capacity * row.conflict_evictions_huge / evictions;
+  split.true_capacity =
+      capacity - split.conflict_base - split.conflict_huge;
+  return split;
+}
+
 std::string RenderMissBreakdown(const std::vector<MissSourceRow>& rows) {
   TextTable table(
       "Figure 16 companion: TLB miss sources (cold vs precise invalidation "
-      "vs capacity)");
+      "vs conflict vs true capacity)");
   table.SetColumns({"workload", "misses", "cold", "precise inval",
-                    "capacity"});
+                    "conflict 4k", "conflict 2M", "true capacity"});
   std::vector<double> cold_shares;
   std::vector<double> stale_shares;
-  std::vector<double> capacity_shares;
+  std::vector<double> conflict_base_shares;
+  std::vector<double> conflict_huge_shares;
+  std::vector<double> true_capacity_shares;
   for (const MissSourceRow& row : rows) {
-    const uint64_t capacity = CapacityMisses(row);
+    const CapacitySplit split = SplitCapacityMisses(row);
     const double total = static_cast<double>(row.tlb_misses);
     const double cold_share = total > 0 ? row.cold / total : 0.0;
     const double stale_share = total > 0 ? row.stale / total : 0.0;
-    const double capacity_share = total > 0 ? capacity / total : 0.0;
+    const double conflict_base_share =
+        total > 0 ? split.conflict_base / total : 0.0;
+    const double conflict_huge_share =
+        total > 0 ? split.conflict_huge / total : 0.0;
+    const double true_capacity_share =
+        total > 0 ? split.true_capacity / total : 0.0;
     cold_shares.push_back(cold_share);
     stale_shares.push_back(stale_share);
-    capacity_shares.push_back(capacity_share);
+    conflict_base_shares.push_back(conflict_base_share);
+    conflict_huge_shares.push_back(conflict_huge_share);
+    true_capacity_shares.push_back(true_capacity_share);
     table.AddRow({row.label, std::to_string(row.tlb_misses),
                   TextTable::Pct(cold_share), TextTable::Pct(stale_share),
-                  TextTable::Pct(capacity_share)});
+                  TextTable::Pct(conflict_base_share),
+                  TextTable::Pct(conflict_huge_share),
+                  TextTable::Pct(true_capacity_share)});
   }
   table.AddRow({"average", "", TextTable::Pct(ArithmeticMean(cold_shares)),
                 TextTable::Pct(ArithmeticMean(stale_shares)),
-                TextTable::Pct(ArithmeticMean(capacity_shares))});
+                TextTable::Pct(ArithmeticMean(conflict_base_shares)),
+                TextTable::Pct(ArithmeticMean(conflict_huge_shares)),
+                TextTable::Pct(ArithmeticMean(true_capacity_shares))});
   return table.Render();
 }
 

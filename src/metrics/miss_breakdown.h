@@ -10,9 +10,20 @@
 //              TLB's stale_hits counter),
 //   capacity   everything else: evictions and conflicts.
 //
-// The split is exact, not modeled: all three inputs are counters the
-// machine maintains anyway.  Rendering is separated from the figure bench
-// so tests can pin the table's byte-exact output.
+// The capacity bucket is further split using the TLB's per-set occupancy
+// telemetry: every eviction of a valid entry is classified at eviction
+// time as *conflict* (the inserting VM's way window still had free ways in
+// other sets — a better-indexed TLB would not have evicted) or *true
+// capacity* (the window was completely full), per evicted-entry page size.
+// The capacity-miss remainder is apportioned over those eviction counts,
+// giving the conflict-4k / conflict-2M / true-capacity columns.
+//
+// The cold/precise/capacity split is exact, not modeled: all three inputs
+// are counters the machine maintains anyway.  The conflict sub-split is an
+// apportionment (misses are not tracked back to the specific eviction that
+// caused them), deterministic by integer arithmetic.  Rendering is
+// separated from the figure bench so tests can pin the table's byte-exact
+// output.
 #ifndef SRC_METRICS_MISS_BREAKDOWN_H_
 #define SRC_METRICS_MISS_BREAKDOWN_H_
 
@@ -27,12 +38,29 @@ struct MissSourceRow {
   uint64_t tlb_misses = 0;
   uint64_t cold = 0;   // faulting accesses in the measured phase
   uint64_t stale = 0;  // precise invalidations (stale hits)
+  // Valid-entry evictions seen by the VM's TLB over the measured phase,
+  // classified at eviction time (see mmu::Tlb), used to apportion the
+  // capacity bucket.  All zero renders as 100% true capacity.
+  uint64_t conflict_evictions_base = 0;
+  uint64_t conflict_evictions_huge = 0;
+  uint64_t capacity_evictions_base = 0;
+  uint64_t capacity_evictions_huge = 0;
 };
 
 // Capacity/conflict misses: the remainder after cold and precise misses,
 // clamped at zero (warm-up truncation can leave a cold count larger than
 // the measured-phase miss count).
 uint64_t CapacityMisses(const MissSourceRow& row);
+
+// The capacity remainder apportioned over the row's eviction counts:
+// conflict misses per page size, plus the true-capacity rest.  The three
+// parts always sum to CapacityMisses(row).
+struct CapacitySplit {
+  uint64_t conflict_base = 0;
+  uint64_t conflict_huge = 0;
+  uint64_t true_capacity = 0;
+};
+CapacitySplit SplitCapacityMisses(const MissSourceRow& row);
 
 // Renders the breakdown as a TextTable: one row per input with absolute
 // misses and the three source shares, plus an arithmetic-mean row.

@@ -13,11 +13,71 @@ Tlb::Tlb(const TlbConfig& config) : config_(config) {
   lru_.assign(n, 0);
   entries_.resize(n);
   huge_hit_memo_.assign(kHugeMemoSlots, -1);
+  set_valid_.assign(config_.sets, 0);
+  RegisterVm(0);
 }
 
-int64_t Tlb::FindEntry(uint64_t key, base::PageSize size) const {
+void Tlb::RegisterVm(uint16_t vmid) {
+  SIM_CHECK(vmid < kMaxVms);
+  if (vms_.size() <= vmid) {
+    vms_.resize(vmid + 1);
+  }
+  if (vms_[vmid].way_count == 0) {
+    SetVmWays(vmid, 0, config_.ways);
+  }
+}
+
+void Tlb::SetVmWays(uint16_t vmid, uint32_t way_begin, uint32_t way_count) {
+  SIM_CHECK(vmid < kMaxVms);
+  SIM_CHECK(way_count > 0 && way_begin + way_count <= config_.ways);
+  if (vms_.size() <= vmid) {
+    vms_.resize(vmid + 1);
+  }
+  VmState& vm = vms_[vmid];
+  vm.way_begin = way_begin;
+  vm.way_count = way_count;
+  // Recount residency inside the new window (setup-time; full scan is fine).
+  vm.window_valid = 0;
+  for (uint32_t s = 0; s < config_.sets; ++s) {
+    const size_t base_i = static_cast<size_t>(s) * config_.ways;
+    for (uint32_t w = way_begin; w < way_begin + way_count; ++w) {
+      vm.window_valid += static_cast<uint32_t>(tags_[base_i + w] & 1);
+    }
+  }
+}
+
+Tlb::VmState& Tlb::Vm(uint16_t vmid) {
+  if (vmid >= vms_.size() || vms_[vmid].way_count == 0) {
+    RegisterVm(vmid);
+  }
+  return vms_[vmid];
+}
+
+const Tlb::VmState* Tlb::VmOrNull(uint16_t vmid) const {
+  if (vmid >= vms_.size()) {
+    return nullptr;
+  }
+  return &vms_[vmid];
+}
+
+const Tlb::VmTlbCounters& Tlb::vm_counters(uint16_t vmid) const {
+  static const VmTlbCounters kZero{};
+  const VmState* vm = VmOrNull(vmid);
+  return vm != nullptr ? vm->counters : kZero;
+}
+
+uint64_t Tlb::Sum(uint64_t VmTlbCounters::* field) const {
+  uint64_t total = 0;
+  for (const VmState& vm : vms_) {
+    total += vm.counters.*field;
+  }
+  return total;
+}
+
+int64_t Tlb::FindEntry(uint64_t key, base::PageSize size,
+                       uint16_t vmid) const {
   const size_t base_i = static_cast<size_t>(SetIndex(key)) * config_.ways;
-  const uint64_t target = PackedTag(key, size);
+  const uint64_t target = PackedTag(key, size, vmid);
   for (uint32_t w = 0; w < config_.ways; ++w) {
     if (tags_[base_i + w] == target) {
       return static_cast<int64_t>(base_i + w);
@@ -26,26 +86,27 @@ int64_t Tlb::FindEntry(uint64_t key, base::PageSize size) const {
   return -1;
 }
 
-Tlb::LookupResult Tlb::Lookup(uint64_t vpn) {
+Tlb::LookupResult Tlb::Lookup(uint64_t vpn, uint16_t vmid) {
   ++clock_;
   // Probe the 2 MiB structure first (covers more), then 4 KiB.
   const uint64_t region = vpn >> base::kHugeOrder;
-  if (const int64_t i = FindEntry(region, base::PageSize::kHuge); i >= 0) {
+  if (const int64_t i = FindEntry(region, base::PageSize::kHuge, vmid);
+      i >= 0) {
     lru_[i] = clock_;
-    ++hits_;
+    ++Counters(vmid).hits;
     last_hit_ = i;
     huge_hit_memo_[region & (kHugeMemoSlots - 1)] = static_cast<int32_t>(i);
     const Entry& e = entries_[i];
     return LookupResult{true, base::PageSize::kHuge, e.frame, e.stamp};
   }
-  if (const int64_t i = FindEntry(vpn, base::PageSize::kBase); i >= 0) {
+  if (const int64_t i = FindEntry(vpn, base::PageSize::kBase, vmid); i >= 0) {
     lru_[i] = clock_;
-    ++hits_;
+    ++Counters(vmid).hits;
     last_hit_ = i;
     const Entry& e = entries_[i];
     return LookupResult{true, base::PageSize::kBase, e.frame, e.stamp};
   }
-  ++misses_;
+  ++Counters(vmid).misses;
   last_hit_ = -1;
   return LookupResult{};
 }
@@ -55,24 +116,25 @@ void Tlb::RestampHit(const Stamp& stamp) {
   entries_[last_hit_].stamp = stamp;
 }
 
-void Tlb::UncountFaultMiss() { --misses_; }
+void Tlb::UncountFaultMiss(uint16_t vmid) { --Counters(vmid).misses; }
 
-void Tlb::DiscountStaleHit() {
-  ++stale_drops_;
-  --hits_;
-  ++misses_;
+void Tlb::DiscountStaleHit(uint16_t vmid) {
+  VmTlbCounters& c = Counters(vmid);
+  ++c.stale_drops;
+  --c.hits;
+  ++c.misses;
 }
 
 void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame) {
-  Insert(vpn, size, frame, Stamp{});
+  Insert(vpn, size, frame, Stamp{}, 0);
 }
 
 void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
-                 const Stamp& stamp) {
+                 const Stamp& stamp, uint16_t vmid) {
   ++clock_;
   const uint64_t key =
       size == base::PageSize::kHuge ? (vpn >> base::kHugeOrder) : vpn;
-  if (const int64_t i = FindEntry(key, size); i >= 0) {
+  if (const int64_t i = FindEntry(key, size, vmid); i >= 0) {
     lru_[i] = clock_;
     entries_[i].frame = frame;
     entries_[i].stamp = stamp;
@@ -81,9 +143,11 @@ void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
     }
     return;
   }
+  VmState& vm = Vm(vmid);
   const size_t base_i = static_cast<size_t>(SetIndex(key)) * config_.ways;
-  size_t victim = base_i;
-  for (uint32_t w = 0; w < config_.ways; ++w) {
+  const uint32_t way_end = vm.way_begin + vm.way_count;
+  size_t victim = base_i + vm.way_begin;
+  for (uint32_t w = vm.way_begin; w < way_end; ++w) {
     const size_t i = base_i + w;
     if ((tags_[i] & 1) == 0) {
       victim = i;
@@ -93,7 +157,31 @@ void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
       victim = i;
     }
   }
-  tags_[victim] = PackedTag(key, size);
+  if ((tags_[victim] & 1) != 0) {
+    // Evicting a valid entry: attribute the eviction to its owner, split
+    // conflict vs true-capacity by whether the inserting VM's window still
+    // has a free way in some other set (it has none in this one).
+    const uint64_t vt = tags_[victim];
+    const uint16_t victim_vmid = TagVmid(vt);
+    const bool victim_huge = (vt & 2) != 0;
+    const bool conflict =
+        vm.window_valid <
+        static_cast<uint64_t>(config_.sets) * vm.way_count;
+    VmTlbCounters& vc = Counters(victim_vmid);
+    if (victim_vmid != vmid) {
+      ++vc.cross_vm_evictions;
+    }
+    if (conflict) {
+      ++(victim_huge ? vc.conflict_evictions_huge
+                     : vc.conflict_evictions_base);
+    } else {
+      ++(victim_huge ? vc.capacity_evictions_huge
+                     : vc.capacity_evictions_base);
+    }
+    DropSlot(victim);
+  }
+  tags_[victim] = PackedTag(key, size, vmid);
+  AddSlot(victim);
   lru_[victim] = clock_;
   entries_[victim].frame = frame;
   entries_[victim].stamp = stamp;
@@ -102,70 +190,129 @@ void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
   }
 }
 
+void Tlb::DropSlot(size_t i) {
+  tags_[i] = 0;
+  --set_valid_[i / config_.ways];
+  --valid_total_;
+  const uint32_t way = static_cast<uint32_t>(i % config_.ways);
+  for (VmState& vm : vms_) {
+    if (vm.way_count != 0 && way >= vm.way_begin &&
+        way < vm.way_begin + vm.way_count) {
+      --vm.window_valid;
+    }
+  }
+}
+
+void Tlb::AddSlot(size_t i) {
+  ++set_valid_[i / config_.ways];
+  ++valid_total_;
+  const uint32_t way = static_cast<uint32_t>(i % config_.ways);
+  for (VmState& vm : vms_) {
+    if (vm.way_count != 0 && way >= vm.way_begin &&
+        way < vm.way_begin + vm.way_count) {
+      ++vm.window_valid;
+    }
+  }
+}
+
 void Tlb::Flush() {
   for (uint64_t& t : tags_) {
     t = 0;
   }
+  for (uint32_t& s : set_valid_) {
+    s = 0;
+  }
+  for (VmState& vm : vms_) {
+    vm.window_valid = 0;
+  }
+  valid_total_ = 0;
+  ++flushes_;
 }
 
-uint32_t Tlb::ShootdownPage(uint64_t vpn) {
+uint32_t Tlb::InvalidateVm(uint16_t vmid) {
   uint32_t dropped = 0;
-  if (const int64_t i = FindEntry(vpn, base::PageSize::kBase); i >= 0) {
-    tags_[i] = 0;
-    ++dropped;
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    const uint64_t t = tags_[i];
+    if ((t & 1) != 0 && TagVmid(t) == vmid) {
+      DropSlot(i);
+      ++dropped;
+    }
   }
-  if (const int64_t i =
-          FindEntry(vpn >> base::kHugeOrder, base::PageSize::kHuge);
-      i >= 0) {
-    tags_[i] = 0;
-    ++dropped;
-  }
-  shootdowns_ += dropped;
+  Counters(vmid).vm_invalidated += dropped;
   return dropped;
 }
 
-uint32_t Tlb::ShootdownRange(uint64_t vpn, uint64_t pages) {
+uint32_t Tlb::ShootdownPage(uint64_t vpn, uint16_t vmid) {
+  uint32_t dropped = 0;
+  if (const int64_t i = FindEntry(vpn, base::PageSize::kBase, vmid); i >= 0) {
+    DropSlot(i);
+    ++dropped;
+  }
+  if (const int64_t i =
+          FindEntry(vpn >> base::kHugeOrder, base::PageSize::kHuge, vmid);
+      i >= 0) {
+    DropSlot(i);
+    ++dropped;
+  }
+  Counters(vmid).shootdowns += dropped;
+  return dropped;
+}
+
+uint32_t Tlb::ShootdownRange(uint64_t vpn, uint64_t pages, uint16_t vmid) {
   // For large ranges a full scan is cheaper than per-page probes.
   if (pages >= entries_.size()) {
     uint32_t dropped = 0;
     const uint64_t end = vpn + pages;
     for (size_t i = 0; i < tags_.size(); ++i) {
       const uint64_t t = tags_[i];
-      if ((t & 1) == 0) {
+      if ((t & 1) == 0 || TagVmid(t) != vmid) {
         continue;
       }
       const bool huge = (t & 2) != 0;
-      const uint64_t tag = t >> 2;
+      const uint64_t tag = t >> (kVmidBits + 2);
       const uint64_t lo = huge ? tag << base::kHugeOrder : tag;
       const uint64_t hi = lo + (huge ? base::kPagesPerHuge : 1);
       if (lo < end && hi > vpn) {
-        tags_[i] = 0;
+        DropSlot(i);
         ++dropped;
       }
     }
-    shootdowns_ += dropped;
+    Counters(vmid).shootdowns += dropped;
     return dropped;
   }
   uint32_t dropped = 0;
   for (uint64_t p = 0; p < pages; ++p) {
-    dropped += ShootdownPage(vpn + p);
+    dropped += ShootdownPage(vpn + p, vmid);
   }
   return dropped;
 }
 
-uint32_t Tlb::entry_count() const {
+uint32_t Tlb::entry_count() const { return valid_total_; }
+
+uint32_t Tlb::entry_count(uint16_t vmid) const {
   uint32_t n = 0;
   for (const uint64_t t : tags_) {
-    n += static_cast<uint32_t>(t & 1);
+    n += static_cast<uint32_t>((t & 1) != 0 && TagVmid(t) == vmid);
   }
   return n;
 }
 
+uint32_t Tlb::set_occupancy(uint32_t set) const {
+  SIM_CHECK(set < config_.sets);
+  return set_valid_[set];
+}
+
 void Tlb::ResetCounters() {
-  hits_ = 0;
-  misses_ = 0;
-  shootdowns_ = 0;
-  stale_drops_ = 0;
+  for (VmState& vm : vms_) {
+    vm.counters = VmTlbCounters{};
+  }
+  flushes_ = 0;
+}
+
+void Tlb::ResetVmCounters(uint16_t vmid) {
+  if (vmid < vms_.size()) {
+    vms_[vmid].counters = VmTlbCounters{};
+  }
 }
 
 }  // namespace mmu

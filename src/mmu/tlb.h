@@ -1,4 +1,4 @@
-// Set-associative TLB model with mixed 4 KiB / 2 MiB entries.
+// Set-associative TLB model with mixed 4 KiB / 2 MiB entries and VMID tags.
 //
 // Models the unified second-level TLB of the evaluation machine (paper
 // §6.1: 1536 L2 entries shared by 4 KiB and 2 MiB pages): one physical
@@ -6,6 +6,16 @@
 // entry is indexed by the virtual page number, a 2 MiB entry by the
 // huge-region number, so one huge entry covers 512x the address range of a
 // base entry — this is the TLB-coverage effect huge pages buy.
+//
+// Entries additionally carry a VMID tag (PCID/vPID-style), so one physical
+// array can be shared by multiple collocated VMs: a probe only matches
+// entries of its own VMID, but every VM's entries compete for the same sets
+// and LRU clock.  tlb_domain.h builds the three sharing arrangements
+// (private / shared / partitioned) on top of this class; a single-VM `Tlb`
+// with vmid 0 everywhere behaves exactly like the pre-VMID model.  Each
+// registered VM can further be restricted to a static window of ways
+// (SetVmWays), which is how the partitioned mode implements per-VM way
+// partitioning.
 //
 // Entries also record the translated frame and a generation stamp: the
 // (guest-region, host-region) page-table generations the entry was filled
@@ -17,6 +27,12 @@
 // simulations.  Entries whose regions mutated are re-derived once and
 // either restamped (still-correct translation, e.g. after an in-place
 // promotion) or dropped as stale.
+//
+// Counters are kept per VMID (hits, misses, shootdowns, stale drops,
+// selective invalidations, cross-VM evictions, and the conflict/capacity
+// eviction split), so a shared array still reports each VM's interference
+// individually.  The no-argument accessors sum over every registered VM,
+// which for a single-VM instance is the classic counter set.
 //
 // In virtualized mode the engine only inserts a 2 MiB entry for
 // well-aligned huge pages (guest huge AND host huge); that rule lives in
@@ -39,6 +55,12 @@ struct TlbConfig {
 
 class Tlb {
  public:
+  // VMID tag width: collocation experiments run a handful of VMs, so a
+  // byte of tag is generous.  Keys (VPNs) keep 54 bits — far beyond the
+  // simulated address spaces.
+  static constexpr uint32_t kVmidBits = 8;
+  static constexpr uint16_t kMaxVms = 1u << kVmidBits;
+
   // Validity stamp recorded when an entry is filled (or revalidated): the
   // page-table generations the translation was derived under.  The host
   // fields are unused (zero) in native mode.
@@ -58,31 +80,67 @@ class Tlb {
     Stamp stamp;  // stamps recorded at fill / last revalidation
   };
 
+  // Per-VM counter set.  A single-VM TLB only ever touches slot 0.
+  struct VmTlbCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t shootdowns = 0;
+    // Hits reclassified as misses because the cached translation no longer
+    // matched the page tables.  Always also counted in misses.
+    uint64_t stale_drops = 0;
+    // Entries dropped by InvalidateVm (tagged selective invalidation, the
+    // single-context-INVEPT analogue used by the shared TLB domain).
+    uint64_t vm_invalidated = 0;
+    // This VM's entries evicted by another VM's insert — the direct
+    // cross-VM interference channel of a shared TLB.
+    uint64_t cross_vm_evictions = 0;
+    // Evictions of this VM's valid entries, split by whether the inserting
+    // VM still had a free way in another set of its window (conflict:
+    // free space existed elsewhere) or its window was completely full
+    // (true capacity), per evicted-entry page size.  Feeds the fig16
+    // companion table's conflict-vs-capacity split.
+    uint64_t conflict_evictions_base = 0;
+    uint64_t conflict_evictions_huge = 0;
+    uint64_t capacity_evictions_base = 0;
+    uint64_t capacity_evictions_huge = 0;
+  };
+
   explicit Tlb(const TlbConfig& config);
 
-  // Probes for a translation of `vpn`.  Checks both a 4 KiB entry for the
-  // page and a 2 MiB entry for its huge region.  Updates LRU on hit.
-  LookupResult Lookup(uint64_t vpn);
+  // Registers `vmid` (counter slot + way window).  Construction implicitly
+  // registers vmid 0 with the full way window, so standalone single-VM use
+  // needs no registration calls.  Re-registering adjusts the window.
+  void RegisterVm(uint16_t vmid);
+  // Restricts `vmid` to ways [way_begin, way_begin + way_count) of every
+  // set (static way partitioning).  Windows of different VMs must be
+  // either identical or disjoint; the domain enforces that.
+  void SetVmWays(uint16_t vmid, uint32_t way_begin, uint32_t way_count);
+
+  // Probes for a translation of `vpn` under `vmid`.  Checks both a 4 KiB
+  // entry for the page and a 2 MiB entry for its huge region.  Updates LRU
+  // on hit.
+  LookupResult Lookup(uint64_t vpn, uint16_t vmid = 0);
 
   // O(1) repeat-probe for a huge entry of `region`, used by the batched
   // translation fast path.  If a recently hit or inserted huge entry for
   // the region is still valid, performs exactly what Lookup would have
   // done for any vpn of the region — huge entries probe first, and tags
-  // are unique per (set, size), so the memoized entry *is* the entry
+  // are unique per (set, size, vmid), so the memoized entry *is* the entry
   // Lookup would return — counts the hit, touches LRU, fills `out`, and
   // returns true.  Otherwise touches nothing (no miss counted; the caller
   // falls back to Lookup) and returns false.  Defined inline below the
   // class: it is the innermost step of the batch fast path.
-  bool RehitHuge(uint64_t region, LookupResult* out);
+  bool RehitHuge(uint64_t region, LookupResult* out, uint16_t vmid = 0);
 
   // Side-effect-free presence probe: true iff a Lookup of `vpn` would hit
   // right now.  Touches no counters and no LRU state.  The batch prefetch
   // planner uses it to skip side-walking accesses that will hit anyway
   // (the answer is advisory — state may change before the real access —
   // so correctness never depends on it).
-  bool Probe(uint64_t vpn) const {
-    return FindEntry(vpn >> base::kHugeOrder, base::PageSize::kHuge) >= 0 ||
-           FindEntry(vpn, base::PageSize::kBase) >= 0;
+  bool Probe(uint64_t vpn, uint16_t vmid = 0) const {
+    return FindEntry(vpn >> base::kHugeOrder, base::PageSize::kHuge, vmid) >=
+               0 ||
+           FindEntry(vpn, base::PageSize::kBase, vmid) >= 0;
   }
 
   // Advisory prefetch of the two sets a Lookup of `vpn` will probe.  A
@@ -92,10 +150,11 @@ class Tlb {
   void PrefetchSets(uint64_t vpn) const;
 
   // Inserts a translation for `vpn` at the given granularity, evicting the
-  // LRU way of the target set.  The overload without a stamp inserts with
-  // a default (all-zero) stamp — fine for unit tests and standalone use.
+  // LRU way of the target set (within the inserting VM's way window).  The
+  // overload without a stamp inserts with a default (all-zero) stamp —
+  // fine for unit tests and standalone use.
   void Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
-              const Stamp& stamp);
+              const Stamp& stamp, uint16_t vmid = 0);
   void Insert(uint64_t vpn, base::PageSize size, uint64_t frame);
 
   // Replaces the stamp of the entry the most recent Lookup hit.  Called
@@ -106,33 +165,59 @@ class Tlb {
 
   // Reclassifies the most recent hit as a miss (the engine found the entry
   // stale against the page tables and dropped it).
-  void DiscountStaleHit();
+  void DiscountStaleHit(uint16_t vmid = 0);
 
   // Uncounts the most recent miss (the walk ended in a page fault; the
   // access will be retried and counted then).
-  void UncountFaultMiss();
+  void UncountFaultMiss(uint16_t vmid = 0);
 
-  // Invalidates every entry (full flush; e.g. context switch).
+  // Invalidates every entry of every VM (full flush; e.g. context switch).
   void Flush();
 
-  // Invalidates any entry covering `vpn` (TLB shootdown of one page; also
-  // drops a covering huge entry).  Returns the number of entries dropped.
-  uint32_t ShootdownPage(uint64_t vpn);
+  // Invalidates every entry tagged `vmid`, leaving other VMs' entries in
+  // place — the tagged selective invalidation a shared domain substitutes
+  // for a full flush.  Dropped entries are counted into the VM's
+  // vm_invalidated counter.  Returns the number of entries dropped.
+  uint32_t InvalidateVm(uint16_t vmid);
 
-  // Invalidates all entries overlapping [vpn, vpn + pages).
-  uint32_t ShootdownRange(uint64_t vpn, uint64_t pages);
+  // Invalidates any entry of `vmid` covering `vpn` (TLB shootdown of one
+  // page; also drops a covering huge entry).  Returns entries dropped.
+  uint32_t ShootdownPage(uint64_t vpn, uint16_t vmid = 0);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t shootdowns() const { return shootdowns_; }
+  // Invalidates all entries of `vmid` overlapping [vpn, vpn + pages).
+  uint32_t ShootdownRange(uint64_t vpn, uint64_t pages, uint16_t vmid = 0);
+
+  // Aggregate counters (summed over every registered VM); identical to the
+  // per-VM values on a single-VM instance.
+  uint64_t hits() const { return Sum(&VmTlbCounters::hits); }
+  uint64_t misses() const { return Sum(&VmTlbCounters::misses); }
+  uint64_t shootdowns() const { return Sum(&VmTlbCounters::shootdowns); }
   // Hits reclassified as misses because the cached translation no longer
   // matched the page tables.  Always also counted in misses(): the counter
   // splits out how many misses were precise invalidations rather than
   // capacity/cold misses.
-  uint64_t stale_hits() const { return stale_drops_; }
-  uint64_t stale_drops() const { return stale_drops_; }
-  uint32_t entry_count() const;  // currently valid entries
+  uint64_t stale_hits() const { return Sum(&VmTlbCounters::stale_drops); }
+  uint64_t stale_drops() const { return Sum(&VmTlbCounters::stale_drops); }
+  uint64_t flushes() const { return flushes_; }  // full Flush() calls
+
+  // Per-VM counter set (zeroes for a vmid never registered or used).
+  const VmTlbCounters& vm_counters(uint16_t vmid) const;
+
+  uint32_t entry_count() const;  // currently valid entries, all VMs
+  uint32_t entry_count(uint16_t vmid) const;  // valid entries of one VM
+
+  // Per-set residency telemetry: valid entries currently in `set`.  The
+  // conflict/capacity eviction classification is derived from the same
+  // bookkeeping (an eviction with free ways elsewhere in the inserting
+  // VM's window is a conflict, not a capacity, eviction).
+  uint32_t set_occupancy(uint32_t set) const;
+
   void ResetCounters();
+  // Zeroes one VM's counter slot only (a shared view resetting itself must
+  // not clobber the other tenants' counters).
+  void ResetVmCounters(uint16_t vmid);
+
+  const TlbConfig& config() const { return config_; }
 
  private:
   // Storage is structure-of-arrays: the probe identity (tag, size, valid)
@@ -146,20 +231,59 @@ class Tlb {
     Stamp stamp;
   };
 
+  // Per-VM bookkeeping beyond the public counters: the way window the VM
+  // may occupy and how many valid entries currently sit inside it (for the
+  // conflict-vs-capacity eviction classification; windows of distinct VMs
+  // are identical or disjoint, so the count is cheap to maintain).
+  struct VmState {
+    uint32_t way_begin = 0;
+    uint32_t way_count = 0;
+    uint32_t window_valid = 0;
+    VmTlbCounters counters;
+  };
+
   uint32_t SetIndex(uint64_t key) const {
     return static_cast<uint32_t>(key) & (config_.sets - 1);
   }
-  // Packed way identity: tag << 2 | is_huge << 1 | valid.  Zero (invalid)
-  // never matches a probe, whose target always has the valid bit set.
-  static uint64_t PackedTag(uint64_t key, base::PageSize size) {
-    return (key << 2) | (size == base::PageSize::kHuge ? 2ull : 0ull) | 1ull;
+  // Packed way identity: tag << (kVmidBits + 2) | vmid << 2 | is_huge << 1
+  // | valid.  Zero (invalid) never matches a probe, whose target always
+  // has the valid bit set.
+  static uint64_t PackedTag(uint64_t key, base::PageSize size,
+                            uint16_t vmid) {
+    return (key << (kVmidBits + 2)) |
+           (static_cast<uint64_t>(vmid) << 2) |
+           (size == base::PageSize::kHuge ? 2ull : 0ull) | 1ull;
   }
-  // Index of the entry translating (key, size), or -1.
-  int64_t FindEntry(uint64_t key, base::PageSize size) const;
+  static uint16_t TagVmid(uint64_t packed) {
+    return static_cast<uint16_t>((packed >> 2) & (kMaxVms - 1));
+  }
+  // Index of the entry translating (key, size) for `vmid`, or -1.
+  int64_t FindEntry(uint64_t key, base::PageSize size, uint16_t vmid) const;
+
+  VmState& Vm(uint16_t vmid);
+  const VmState* VmOrNull(uint16_t vmid) const;
+  // Counter slot for `vmid` without the way-window registration Vm()
+  // performs: hit/miss accounting is the innermost step of every probe, and
+  // a counter slot needs no window (Insert registers the window lazily via
+  // Vm() before it is ever consulted).  The growth branch is never taken
+  // after the VMs of a domain are registered.
+  VmTlbCounters& Counters(uint16_t vmid) {
+    if (__builtin_expect(vmid >= vms_.size(), 0)) {
+      RegisterVm(vmid);
+    }
+    return vms_[vmid].counters;
+  }
+  // Validity bookkeeping when slot `i` becomes invalid / gains a valid
+  // entry (set residency, total, and every covering way window).
+  void DropSlot(size_t i);
+  void AddSlot(size_t i);
+  uint64_t Sum(uint64_t VmTlbCounters::* field) const;
 
   // Direct-mapped cache of recently hit/inserted huge entry indices, by
-  // region; -1 = empty.  Eviction/shootdown/reuse of a slot is caught by
-  // re-checking the packed tag before trusting it (see RehitHuge).
+  // region; -1 = empty.  Eviction/shootdown/reuse of a slot — or reuse by
+  // another VM's region in a shared array — is caught by re-checking the
+  // packed tag (which includes the VMID) before trusting it (see
+  // RehitHuge).
   static constexpr uint32_t kHugeMemoSlots = 1024;  // power of two
 
   TlbConfig config_;
@@ -167,12 +291,12 @@ class Tlb {
   std::vector<uint64_t> lru_;      // lru_[i]: last touch of entry i
   std::vector<Entry> entries_;     // sets * ways payloads
   std::vector<int32_t> huge_hit_memo_;  // kHugeMemoSlots, region-indexed
+  std::vector<VmState> vms_;       // indexed by vmid; grown by RegisterVm
+  std::vector<uint32_t> set_valid_;  // per-set residency
+  uint32_t valid_total_ = 0;
   int64_t last_hit_ = -1;  // entry the most recent Lookup hit, or -1
   uint64_t clock_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t shootdowns_ = 0;
-  uint64_t stale_drops_ = 0;
+  uint64_t flushes_ = 0;
 };
 
 inline void Tlb::PrefetchSets(uint64_t vpn) const {
@@ -186,16 +310,18 @@ inline void Tlb::PrefetchSets(uint64_t vpn) const {
   __builtin_prefetch(&tags_[bset + config_.ways - 1], 0, 1);
 }
 
-inline bool Tlb::RehitHuge(uint64_t region, LookupResult* out) {
+inline bool Tlb::RehitHuge(uint64_t region, LookupResult* out,
+                           uint16_t vmid) {
   const int32_t i = huge_hit_memo_[region & (kHugeMemoSlots - 1)];
   // Re-check what Lookup would have established: the slot may have been
-  // evicted, shot down, or reused for another region since it was memoized.
-  if (i < 0 || tags_[i] != PackedTag(region, base::PageSize::kHuge)) {
+  // evicted, shot down, or reused for another region (or another VM's
+  // region — the memo is shared, the tag is not) since it was memoized.
+  if (i < 0 || tags_[i] != PackedTag(region, base::PageSize::kHuge, vmid)) {
     return false;
   }
   ++clock_;
   lru_[i] = clock_;
-  ++hits_;
+  ++Counters(vmid).hits;
   last_hit_ = i;
   const Entry& e = entries_[i];
   *out = LookupResult{true, base::PageSize::kHuge, e.frame, e.stamp};

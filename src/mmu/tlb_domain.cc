@@ -1,0 +1,66 @@
+#include "mmu/tlb_domain.h"
+
+#include "base/check.h"
+
+namespace mmu {
+
+const char* TlbShareModeName(TlbShareMode mode) {
+  switch (mode) {
+    case TlbShareMode::kPrivate:
+      return "private";
+    case TlbShareMode::kShared:
+      return "shared";
+    case TlbShareMode::kPartitioned:
+      return "partitioned";
+  }
+  return "?";
+}
+
+TlbDomain::TlbDomain(const TlbDomainConfig& config) : config_(config) {
+  if (config_.mode == TlbShareMode::kPartitioned) {
+    SIM_CHECK(PartitionWays() > 0);
+  }
+}
+
+uint32_t TlbDomain::PartitionWays() const {
+  if (config_.partition_ways != 0) {
+    return config_.partition_ways;
+  }
+  SIM_CHECK(config_.expected_vms > 0);
+  return config_.tlb.ways / config_.expected_vms;
+}
+
+TlbView TlbDomain::AddVm(uint16_t vmid) {
+  if (config_.mode == TlbShareMode::kPrivate) {
+    if (private_tlbs_.size() <= vmid) {
+      private_tlbs_.resize(vmid + 1);
+    }
+    SIM_CHECK(private_tlbs_[vmid] == nullptr);
+    private_tlbs_[vmid] = std::make_unique<Tlb>(config_.tlb);
+    private_tlbs_[vmid]->RegisterVm(vmid);
+    return TlbView(private_tlbs_[vmid].get(), vmid, /*exclusive=*/true);
+  }
+  if (shared_ == nullptr) {
+    shared_ = std::make_unique<Tlb>(config_.tlb);
+  }
+  shared_->RegisterVm(vmid);
+  if (config_.mode == TlbShareMode::kPartitioned) {
+    const uint32_t k = PartitionWays();
+    const uint32_t begin = static_cast<uint32_t>(vmid) * k;
+    SIM_CHECK(begin + k <= config_.tlb.ways);
+    shared_->SetVmWays(vmid, begin, k);
+  }
+  return TlbView(shared_.get(), vmid, /*exclusive=*/false);
+}
+
+uint32_t TlbDomain::InvalidateVm(uint16_t vmid) {
+  if (config_.mode == TlbShareMode::kPrivate) {
+    SIM_CHECK(vmid < private_tlbs_.size() &&
+              private_tlbs_[vmid] != nullptr);
+    return private_tlbs_[vmid]->InvalidateVm(vmid);
+  }
+  SIM_CHECK(shared_ != nullptr);
+  return shared_->InvalidateVm(vmid);
+}
+
+}  // namespace mmu

@@ -1,0 +1,189 @@
+// TLB sharing domain: one owner for the physical TLB arrays of all the
+// VMs collocated on a simulated core, handing each VM a tagged view.
+//
+// The paper's collocation experiments (Figs. 17/18, §6.5) run two VMs on
+// one host, where the real machine's second-level TLB is a *shared*
+// resource.  A `TlbDomain` models the three arrangements a core can
+// present to its VMs:
+//
+//   * kPrivate — each VM gets its own full physical array.  This is the
+//     status quo (an engine owning its own Tlb) and is observationally
+//     identical to it, bit for bit: same counters, same LRU order, same
+//     fig17/18 output.
+//   * kShared — every VM's view probes and fills the *same* physical
+//     array.  Entries carry the VM's VMID tag (PCID/vPID-style), so a VM
+//     never hits another VM's translation, but all VMs compete for the
+//     same sets and the LRU clock interleaves across VMIDs: one VM's
+//     fills evict another's entries, which is exactly the cross-VM TLB
+//     interference channel private arrays hide.  A VM-wide flush becomes
+//     a tagged selective invalidation (single-context INVEPT analogue)
+//     that leaves other VMs' entries in place.
+//   * kPartitioned — one physical array, statically way-partitioned: VM i
+//     may only fill ways [i*k, (i+1)*k) of every set.  Probes still scan
+//     the whole set (tags keep correctness), but a VM's fills can only
+//     evict entries inside its own window, so a noisy neighbor cannot
+//     displace a victim's working set — the isolation/utilization
+//     trade-off way-partitioned QoS hardware makes.
+//
+// The domain hands out `TlbView`s: a thin (pointer, vmid) handle with the
+// same operation surface as `Tlb` minus the vmid parameters, which
+// `TranslationEngine` holds in place of an owned Tlb.  Counter accessors
+// on a view report the *view's* VM only, so per-VM miss rates stay
+// meaningful on a shared array.
+#ifndef SRC_MMU_TLB_DOMAIN_H_
+#define SRC_MMU_TLB_DOMAIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mmu/tlb.h"
+
+namespace mmu {
+
+enum class TlbShareMode : uint8_t {
+  kPrivate,      // per-VM physical arrays (status quo)
+  kShared,       // one array, all VMs compete, VMID tags isolate hits
+  kPartitioned,  // one array, static per-VM way windows
+};
+
+// Lower-case stable name, as used by GEMINI_TLB_MODE and export columns.
+const char* TlbShareModeName(TlbShareMode mode);
+
+struct TlbDomainConfig {
+  TlbConfig tlb;  // geometry of each physical array the domain builds
+  TlbShareMode mode = TlbShareMode::kPrivate;
+  // kPartitioned: ways each VM owns; 0 = split evenly over expected_vms.
+  uint32_t partition_ways = 0;
+  uint32_t expected_vms = 2;
+};
+
+// A per-VM handle onto a physical Tlb: every operation is forwarded with
+// the view's VMID, and counter accessors report the view's VM only.  For
+// an exclusive view (private mode / a standalone engine-owned array)
+// Flush() and ResetCounters() act on the whole array; for a shared view
+// they act selectively on the VM's entries and counter slot.
+class TlbView {
+ public:
+  TlbView() = default;
+  TlbView(Tlb* physical, uint16_t vmid, bool exclusive)
+      : physical_(physical), vmid_(vmid), exclusive_(exclusive) {}
+
+  // --- forwarded operations (see tlb.h for semantics) ---
+  Tlb::LookupResult Lookup(uint64_t vpn) {
+    return physical_->Lookup(vpn, vmid_);
+  }
+  bool RehitHuge(uint64_t region, Tlb::LookupResult* out) {
+    return physical_->RehitHuge(region, out, vmid_);
+  }
+  bool Probe(uint64_t vpn) const { return physical_->Probe(vpn, vmid_); }
+  void PrefetchSets(uint64_t vpn) const { physical_->PrefetchSets(vpn); }
+  void Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
+              const Tlb::Stamp& stamp) {
+    physical_->Insert(vpn, size, frame, stamp, vmid_);
+  }
+  void Insert(uint64_t vpn, base::PageSize size, uint64_t frame) {
+    physical_->Insert(vpn, size, frame, Tlb::Stamp{}, vmid_);
+  }
+  void RestampHit(const Tlb::Stamp& stamp) { physical_->RestampHit(stamp); }
+  void DiscountStaleHit() { physical_->DiscountStaleHit(vmid_); }
+  void UncountFaultMiss() { physical_->UncountFaultMiss(vmid_); }
+  uint32_t ShootdownPage(uint64_t vpn) {
+    return physical_->ShootdownPage(vpn, vmid_);
+  }
+  uint32_t ShootdownRange(uint64_t vpn, uint64_t pages) {
+    return physical_->ShootdownRange(vpn, pages, vmid_);
+  }
+  // Exclusive view: full flush.  Shared view: tagged selective
+  // invalidation of this VM's entries only.
+  void Flush() {
+    if (exclusive_) {
+      physical_->Flush();
+    } else {
+      physical_->InvalidateVm(vmid_);
+    }
+  }
+
+  // --- this VM's counters ---
+  uint64_t hits() const { return counters().hits; }
+  uint64_t misses() const { return counters().misses; }
+  uint64_t shootdowns() const { return counters().shootdowns; }
+  uint64_t stale_hits() const { return counters().stale_drops; }
+  uint64_t stale_drops() const { return counters().stale_drops; }
+  uint64_t vm_invalidated() const { return counters().vm_invalidated; }
+  uint64_t cross_vm_evictions() const {
+    return counters().cross_vm_evictions;
+  }
+  uint64_t conflict_evictions_base() const {
+    return counters().conflict_evictions_base;
+  }
+  uint64_t conflict_evictions_huge() const {
+    return counters().conflict_evictions_huge;
+  }
+  uint64_t capacity_evictions_base() const {
+    return counters().capacity_evictions_base;
+  }
+  uint64_t capacity_evictions_huge() const {
+    return counters().capacity_evictions_huge;
+  }
+  uint64_t flushes() const { return physical_->flushes(); }
+  uint32_t entry_count() const {
+    return exclusive_ ? physical_->entry_count()
+                      : physical_->entry_count(vmid_);
+  }
+  void ResetCounters() {
+    if (exclusive_) {
+      physical_->ResetCounters();
+    } else {
+      physical_->ResetVmCounters(vmid_);
+    }
+  }
+
+  const TlbConfig& config() const { return physical_->config(); }
+  uint16_t vmid() const { return vmid_; }
+  bool exclusive() const { return exclusive_; }
+  Tlb& physical() { return *physical_; }
+  const Tlb& physical() const { return *physical_; }
+
+ private:
+  const Tlb::VmTlbCounters& counters() const {
+    return physical_->vm_counters(vmid_);
+  }
+
+  Tlb* physical_ = nullptr;
+  uint16_t vmid_ = 0;
+  bool exclusive_ = true;
+};
+
+class TlbDomain {
+ public:
+  explicit TlbDomain(const TlbDomainConfig& config);
+
+  // Registers VM `vmid` (the Machine's VM id) and returns its view.  In
+  // kPartitioned mode the VM's way window is [vmid * k, (vmid + 1) * k)
+  // with k = partition_ways (or ways / expected_vms when 0); the window
+  // must fit, so vmid < ways / k.
+  TlbView AddVm(uint16_t vmid);
+
+  // Selectively invalidates every entry of `vmid` (in its private array or
+  // the shared one).  Returns the number of entries dropped.
+  uint32_t InvalidateVm(uint16_t vmid);
+
+  TlbShareMode mode() const { return config_.mode; }
+  const TlbDomainConfig& config() const { return config_; }
+  // The shared physical array, or null in kPrivate mode.
+  const Tlb* shared_tlb() const { return shared_.get(); }
+
+ private:
+  uint32_t PartitionWays() const;
+
+  TlbDomainConfig config_;
+  // kPrivate: one array per vmid (indexed by vmid; sparse allowed).
+  std::vector<std::unique_ptr<Tlb>> private_tlbs_;
+  // kShared / kPartitioned: the one array every view targets.
+  std::unique_ptr<Tlb> shared_;
+};
+
+}  // namespace mmu
+
+#endif  // SRC_MMU_TLB_DOMAIN_H_

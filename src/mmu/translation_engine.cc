@@ -24,7 +24,19 @@ TranslationEngine::TranslationEngine(const Config& config,
     : config_(config),
       guest_table_(guest_table),
       host_table_(host_table),
-      tlb_(config.tlb),
+      owned_tlb_(std::make_unique<Tlb>(config.tlb)),
+      tlb_(owned_tlb_.get(), /*vmid=*/0, /*exclusive=*/true),
+      walker_(config.walker) {
+  SIM_CHECK(guest_table_ != nullptr);
+}
+
+TranslationEngine::TranslationEngine(const Config& config,
+                                     PageTable* guest_table,
+                                     PageTable* host_table, TlbView tlb_view)
+    : config_(config),
+      guest_table_(guest_table),
+      host_table_(host_table),
+      tlb_(tlb_view),
       walker_(config.walker) {
   SIM_CHECK(guest_table_ != nullptr);
 }

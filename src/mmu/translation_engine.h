@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "mmu/nested_walker.h"
 #include "mmu/page_table.h"
 #include "mmu/tlb.h"
+#include "mmu/tlb_domain.h"
 
 namespace mmu {
 
@@ -58,9 +60,17 @@ class TranslationEngine {
     base::Cycles tlb_hit_cycles = 1;
   };
 
-  // `host_table` may be null for a native (non-virtualized) engine.
+  // `host_table` may be null for a native (non-virtualized) engine.  This
+  // form owns a private physical Tlb built from config.tlb (the status-quo
+  // arrangement; equivalent to an exclusive view from a kPrivate domain).
   TranslationEngine(const Config& config, PageTable* guest_table,
                     PageTable* host_table);
+
+  // Domain form: translate through `tlb_view`, a per-VM view handed out by
+  // a TlbDomain (which owns the physical arrays).  config.tlb is ignored —
+  // the domain already fixed the geometry.
+  TranslationEngine(const Config& config, PageTable* guest_table,
+                    PageTable* host_table, TlbView tlb_view);
 
   // Translates one access to the page `vpn`.  On kOk the TLB is updated; on
   // a fault nothing is cached and the caller is expected to resolve the
@@ -133,8 +143,11 @@ class TranslationEngine {
   }
   void FlushAll();
 
-  const Tlb& tlb() const { return tlb_; }
-  Tlb& tlb() { return tlb_; }
+  // The engine's per-VM TLB view.  Counter accessors on it report this
+  // VM's translations only, even when the physical array is shared with
+  // other VMs; use tlb().physical() to reach the underlying array.
+  const TlbView& tlb() const { return tlb_; }
+  TlbView& tlb() { return tlb_; }
 
   uint64_t translations() const { return translations_; }
   base::Cycles translation_cycles() const { return translation_cycles_; }
@@ -198,7 +211,10 @@ class TranslationEngine {
   Config config_;
   PageTable* guest_table_;
   PageTable* host_table_;
-  Tlb tlb_;
+  // Set only by the owning constructor; declared before tlb_ so the view
+  // can be initialized from it.
+  std::unique_ptr<Tlb> owned_tlb_;
+  TlbView tlb_;
   NestedWalker walker_;
   uint64_t translations_ = 0;
   base::Cycles translation_cycles_ = 0;

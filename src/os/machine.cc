@@ -9,6 +9,9 @@ namespace osim {
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       host_(config.host_frames, config.costs, this, config.seed * 2 + 1),
+      tlb_domain_(mmu::TlbDomainConfig{config.engine.tlb, config.tlb_mode,
+                                       config.tlb_partition_ways,
+                                       config.tlb_expected_vms}),
       next_daemon_(config.daemon_period),
       next_event_(config.daemon_period) {
   host_fragmenter_ = std::make_unique<vmem::Fragmenter>(
@@ -29,8 +32,9 @@ VirtualMachine& Machine::AddVm(
   auto guest = std::make_unique<GuestKernel>(
       id, gfn_count, config_.costs, this, std::move(guest_policy),
       config_.seed * 131 + static_cast<uint64_t>(id) * 31 + 7);
-  vms_.push_back(std::make_unique<VirtualMachine>(id, std::move(guest),
-                                                  &slice, config_.engine));
+  vms_.push_back(std::make_unique<VirtualMachine>(
+      id, std::move(guest), &slice, config_.engine,
+      tlb_domain_.AddVm(static_cast<uint16_t>(id))));
   VirtualMachine& vm = *vms_.back();
   vm.guest().AttachTracer(&tracer_);
   vm.guest().buddy().SetTracer(&tracer_, base::Layer::kGuest, id);
@@ -154,11 +158,20 @@ base::Cycles Machine::EnsureHostBacking(int32_t vm_id, uint64_t gfn,
 }
 
 void Machine::FlushVmTranslations(int32_t vm_id) {
-  // Stale combined entries are detected and dropped by the translation
-  // engine's hit validation (modeling a tagged, precisely-invalidated
-  // TLB), so a wholesale flush is unnecessary; the invalidation latency is
-  // charged by the kernel as shootdown overhead.
-  (void)vm_id;
+  // Private arrays: stale combined entries are detected and dropped by the
+  // translation engine's hit validation (modeling a tagged, precisely-
+  // invalidated TLB), so a wholesale flush is unnecessary; the
+  // invalidation latency is charged by the kernel as shootdown overhead.
+  if (config_.tlb_mode == mmu::TlbShareMode::kPrivate) {
+    return;
+  }
+  // Shared array: the same event is a tagged selective invalidation
+  // (single-context INVEPT analogue) — only this VM's entries drop, and
+  // the per-entry count lands in its vm_invalidated counter.  Hit
+  // validation would also catch the staleness, but dropping eagerly means
+  // the vacated ways are immediately reusable by the other tenants, which
+  // is part of the sharing model being measured.
+  tlb_domain_.InvalidateVm(static_cast<uint16_t>(vm_id));
 }
 
 uint64_t Machine::VmTlbMisses(int32_t vm_id) const {

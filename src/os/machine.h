@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "mmu/tlb_domain.h"
 #include "os/cost_model.h"
 #include "os/hooks.h"
 #include "os/host_kernel.h"
@@ -30,6 +31,14 @@ struct MachineConfig {
   // Promotion daemons tick every this many cycles.
   base::Cycles daemon_period = 2'000'000;
   uint64_t seed = 1;
+  // How the VMs' L2 TLB arrays are arranged (see mmu/tlb_domain.h):
+  // kPrivate gives each VM its own full array (the status quo), kShared
+  // makes all VMs compete for one VMID-tagged array, kPartitioned statically
+  // way-partitions one array.  Geometry always comes from engine.tlb.
+  mmu::TlbShareMode tlb_mode = mmu::TlbShareMode::kPrivate;
+  // kPartitioned: ways per VM; 0 = even split over tlb_expected_vms.
+  uint32_t tlb_partition_ways = 0;
+  uint32_t tlb_expected_vms = 2;
 };
 
 // A periodic background component (e.g. Gemini's MHPS).  Owned by the
@@ -63,6 +72,9 @@ class Machine final : public MachineHooks {
   // enables it; every kernel and allocator in the stack is pre-wired to it.
   trace::Tracer& tracer() { return tracer_; }
   const trace::Tracer& tracer() const { return tracer_; }
+
+  // The TLB sharing domain the VMs' engines translate through.
+  const mmu::TlbDomain& tlb_domain() const { return tlb_domain_; }
 
   // One data access by the workload in `vm_id`, including `work_cycles` of
   // the workload's own compute.  Advances the clock and runs due daemons.
@@ -111,6 +123,9 @@ class Machine final : public MachineHooks {
   base::Cycles logical_now_ = 0;
   trace::Tracer tracer_;
   HostKernel host_;
+  // Declared before vms_: the VMs' engines hold views into the domain's
+  // physical arrays, so the domain must outlive them.
+  mmu::TlbDomain tlb_domain_;
   std::vector<std::unique_ptr<VirtualMachine>> vms_;
   std::vector<std::unique_ptr<vmem::Fragmenter>> guest_fragmenters_;
   std::unique_ptr<vmem::Fragmenter> host_fragmenter_;

@@ -50,6 +50,8 @@ void StackSampler::Run(base::Cycles now) {
                                    : static_cast<double>(s.tlb_misses) /
                                          static_cast<double>(lookups);
     p.stale_hits = s.tlb_stale_hits;
+    p.cross_vm_evictions = s.tlb_cross_vm_evictions;
+    p.vm_invalidated = s.tlb_vm_invalidated;
     p.batches = s.batches;
     p.batched_accesses = s.batched_accesses;
     p.batch_region_groups = s.batch_region_groups;
@@ -69,8 +71,8 @@ std::string StackSampler::ToCsv() const {
   std::ostringstream out;
   out << "ts_cycles,vm,guest_coverage,host_coverage,guest_fmfi,host_fmfi,"
          "booking_timeout_cycles,bookings_active,bucket_held,tlb_miss_rate,"
-         "stale_hits,batches,batched_accesses,batch_region_groups,"
-         "batch_fastpath_hits";
+         "stale_hits,cross_vm_evictions,vm_invalidated,batches,"
+         "batched_accesses,batch_region_groups,batch_fastpath_hits";
   for (int b = 0; b < 8; ++b) {
     out << ",batch_hist_b" << b;
   }
@@ -86,6 +88,7 @@ std::string StackSampler::ToCsv() const {
         << p.host_coverage << ',' << p.guest_fmfi << ',' << p.host_fmfi << ','
         << p.booking_timeout << ',' << p.bookings_active << ','
         << p.bucket_held << ',' << p.tlb_miss_rate << ',' << p.stale_hits
+        << ',' << p.cross_vm_evictions << ',' << p.vm_invalidated
         << ',' << p.batches << ',' << p.batched_accesses << ','
         << p.batch_region_groups << ',' << p.batch_fastpath_hits;
     for (int b = 0; b < 8; ++b) {

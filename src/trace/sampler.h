@@ -38,6 +38,11 @@ struct SamplePoint {
   uint64_t bucket_held = 0;          // regions retained by the huge bucket
   double tlb_miss_rate = 0.0;        // cumulative misses / lookups
   uint64_t stale_hits = 0;           // cumulative precise-invalidation misses
+  // Cumulative TLB sharing-domain interference counters (zero under a
+  // private arrangement): this VM's entries evicted by other VMs' fills,
+  // and entries dropped by tagged selective invalidation.
+  uint64_t cross_vm_evictions = 0;
+  uint64_t vm_invalidated = 0;
   // Cumulative batch-pipeline counters (host-side effectiveness only;
   // simulation state is batch-size-invariant).
   uint64_t batches = 0;

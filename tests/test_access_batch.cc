@@ -142,7 +142,7 @@ Observation Drive(harness::SystemKind kind, uint64_t seed, const Plan& plan,
     }
   }
 
-  const mmu::Tlb& tlb = vm.engine().tlb();
+  const mmu::TlbView& tlb = vm.engine().tlb();
   obs.tlb_hits = tlb.hits();
   obs.tlb_misses = tlb.misses();
   obs.tlb_stale = tlb.stale_drops();

@@ -31,6 +31,12 @@ workload::RunResult SampleResult() {
   r.counters.batch_region_groups = 40;
   r.counters.batch_fastpath_hits = 700;
   r.counters.batch_size_hist = {1, 0, 0, 0, 0, 0, 12, 0};
+  r.counters.tlb_cross_vm_evictions = 4;
+  r.counters.tlb_vm_invalidated = 8;
+  r.counters.tlb_conflict_evictions_base = 3;
+  r.counters.tlb_conflict_evictions_huge = 1;
+  r.counters.tlb_capacity_evictions_base = 2;
+  r.counters.tlb_capacity_evictions_huge = 2;
   r.busy_cycles = 123456;
   return r;
 }
@@ -41,7 +47,8 @@ TEST(Export, CsvHasHeaderAndRow) {
       metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
   EXPECT_NE(csv.find("workload,system,throughput"), std::string::npos);
   EXPECT_NE(csv.find("Redis,Gemini,1.5,1000,2000,42,6,0.25,0.875,7,9,11,3,5,"
-                     "2,13,832,40,700,1,0,0,0,0,0,12,0,123456"),
+                     "2,13,832,40,700,1,0,0,0,0,0,12,0,private,4,8,4,4,"
+                     "123456"),
             std::string::npos);
 }
 
@@ -131,7 +138,9 @@ TEST(Export, CarriesBatchPipelineColumns) {
   EXPECT_NE(csv.find("batches,batched_accesses,batch_region_groups,"
                      "batch_fastpath_hits,batch_hist_b0"),
             std::string::npos);
-  EXPECT_NE(csv.find("batch_hist_b7,busy_cycles,wall_ms,seed\n"),
+  EXPECT_NE(csv.find("batch_hist_b7,tlb_mode,cross_vm_evictions,"
+                     "vm_invalidated,conflict_evictions,capacity_evictions,"
+                     "busy_cycles,wall_ms,seed\n"),
             std::string::npos);
   const std::string json =
       metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
@@ -140,6 +149,22 @@ TEST(Export, CarriesBatchPipelineColumns) {
   EXPECT_NE(json.find("\"batch_region_groups\": 40"), std::string::npos);
   EXPECT_NE(json.find("\"batch_fastpath_hits\": 700"), std::string::npos);
   EXPECT_NE(json.find("\"batch_hist_b6\": 12"), std::string::npos);
+}
+
+TEST(Export, CarriesTlbDomainColumns) {
+  const auto r = SampleResult();
+  // Default rows export as private mode; an explicit mode tag rides along.
+  const std::string csv = metrics::ToCsv(
+      {metrics::ResultRow{"Redis", "Gemini", &r, 0.0, 0, "shared"}});
+  EXPECT_NE(csv.find(",shared,4,8,4,4,"), std::string::npos);
+  const std::string json = metrics::ToJson(
+      {metrics::ResultRow{"Redis", "Gemini", &r, 0.0, 0, "shared"}});
+  EXPECT_NE(json.find("\"tlb_mode\": \"shared\""), std::string::npos);
+  EXPECT_NE(json.find("\"cross_vm_evictions\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"vm_invalidated\": 8"), std::string::npos);
+  // Conflict/capacity export as per-size sums (3+1 and 2+2).
+  EXPECT_NE(json.find("\"conflict_evictions\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity_evictions\": 4"), std::string::npos);
 }
 
 TEST(Export, JsonCarriesWallTimeAndSeed) {

@@ -131,19 +131,44 @@ TEST(MissBreakdown, CapacityIsClampedRemainder) {
   EXPECT_EQ(metrics::CapacityMisses(row), 0u);
 }
 
+TEST(MissBreakdown, SplitApportionsCapacityOverEvictionCounts) {
+  // 500 capacity misses, 250 recorded evictions: 100 conflict-4k, 50
+  // conflict-2M, 100 true-capacity -> 200 / 100 / 200 misses.
+  metrics::MissSourceRow row{"w", 1000, 250, 250, 100, 50, 60, 40};
+  const metrics::CapacitySplit split = metrics::SplitCapacityMisses(row);
+  EXPECT_EQ(split.conflict_base, 200u);
+  EXPECT_EQ(split.conflict_huge, 100u);
+  EXPECT_EQ(split.true_capacity, 200u);
+  EXPECT_EQ(split.conflict_base + split.conflict_huge + split.true_capacity,
+            metrics::CapacityMisses(row));
+}
+
+TEST(MissBreakdown, SplitWithoutEvictionTelemetryIsAllTrueCapacity) {
+  const metrics::MissSourceRow row{"w", 100, 30, 20};
+  const metrics::CapacitySplit split = metrics::SplitCapacityMisses(row);
+  EXPECT_EQ(split.conflict_base, 0u);
+  EXPECT_EQ(split.conflict_huge, 0u);
+  EXPECT_EQ(split.true_capacity, 50u);
+}
+
 TEST(MissBreakdown, GoldenTable) {
   const std::vector<metrics::MissSourceRow> rows = {
-      {"Canneal", 1000, 250, 250},
+      {"Canneal", 1000, 250, 250, 100, 50, 50, 50},
       {"Redis", 200, 0, 100},
   };
   EXPECT_EQ(metrics::RenderMissBreakdown(rows),
             "\n== Figure 16 companion: TLB miss sources (cold vs precise "
-            "invalidation vs capacity) ==\n"
-            "workload  misses  cold  precise inval  capacity\n"
-            "-----------------------------------------------\n"
-            "Canneal   1000    25%   25%            50%     \n"
-            "Redis     200     0%    50%            50%     \n"
-            "average           12%   38%            50%     \n");
+            "invalidation vs conflict vs true capacity) ==\n"
+            "workload  misses  cold  precise inval  conflict 4k  "
+            "conflict 2M  true capacity\n"
+            "----------------------------------------------------------------"
+            "--------------\n"
+            "Canneal   1000    25%   25%            20%          10%          "
+            "20%          \n"
+            "Redis     200     0%    50%            0%           0%           "
+            "50%          \n"
+            "average           12%   38%            10%          5%           "
+            "35%          \n");
 }
 
 }  // namespace
