@@ -11,6 +11,13 @@
 //                    (re-derive, then restamp or drop).
 //   mixed            Half-resident working set: huge entries stay cached
 //                    while the base-page half thrashes the TLB.
+//   walk_seq         Walker-depth scenario: an all-base layout swept
+//                    sequentially, so every miss is a full-depth (4 guest
+//                    level) nested walk with maximal walk-memo locality.
+//   walk_deep        Walker-depth scenario: huge-mapped regions visited in
+//                    a sparse stride permutation — one access per region,
+//                    consecutive accesses in different PD/PDPT groups —
+//                    stressing the upper walk levels and memo validation.
 //
 // Each of hit_heavy / miss_heavy / mixed also runs in a batched variant
 // (batched_hit / batched_miss / batched_mixed) that drives the same access
@@ -29,8 +36,12 @@
 // Output: BENCH_translation.json in $GEMINI_EXPORT (if set) or the current
 // directory — an array of one object per scenario:
 //   {scenario, batch, ops, wall_ms, mops_per_s, tlb_hits, tlb_misses,
-//    stale_hits, checksum}
-// Schema documented in BENCHMARKS.md.
+//    stale_hits, walk_mem_refs, walk_cached_refs, walk_nested_hits,
+//    walk_memo_hits, walk_memo_upper_hits, checksum}
+// plus WALK_breakdown.txt, the per-level walk table for the scalar
+// scenarios (metrics::RenderWalkLevelBreakdown).  Schema documented in
+// BENCHMARKS.md.
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -44,6 +55,7 @@
 #include "base/rng.h"
 #include "base/types.h"
 #include "metrics/export.h"
+#include "metrics/miss_breakdown.h"
 #include "mmu/page_table.h"
 #include "mmu/translation_engine.h"
 
@@ -64,6 +76,22 @@ struct ScenarioResult {
   uint64_t tlb_misses = 0;
   uint64_t stale_hits = 0;
   uint64_t checksum = 0;  // deterministic digest of translated frames
+  mmu::WalkLevelStats walk;  // per-level walk accounting of the run
+};
+
+// Page-table layout a scenario runs against.
+enum class Layout {
+  kMixed,    // even regions huge/huge, odd regions base/base
+  kAllBase,  // every region base/base: all walks are full depth
+  kAllHuge,  // every region huge/huge: walks stop at the PD level
+};
+
+// Access-sequence shape.  All three are deterministic; kRandom draws from
+// the scenario rng, the other two are arithmetic.
+enum class Pattern {
+  kRandom,
+  kSequential,  // vpn = i mod span
+  kStride,      // one access per region, regions in a 513-step permutation
 };
 
 // Same resolution rule as workload::Driver: $GEMINI_BATCH, default 64.
@@ -102,11 +130,14 @@ TranslationEngine::Config EngineConfig() {
 // Maps `regions` huge regions at both layers: even regions as well-aligned
 // huge pairs, odd regions as base/base — a mix that populates both TLB entry
 // sizes.
-void BuildLayout(PageTable& guest, PageTable& ept, uint64_t regions) {
+void BuildLayout(PageTable& guest, PageTable& ept, uint64_t regions,
+                 Layout layout = Layout::kMixed) {
   for (uint64_t r = 0; r < regions; ++r) {
     const uint64_t gpa_block = r * kPagesPerHuge;
     const uint64_t hpa_block = (regions + r) * kPagesPerHuge;
-    if (r % 2 == 0) {
+    const bool huge = layout == Layout::kAllHuge ||
+                      (layout == Layout::kMixed && r % 2 == 0);
+    if (huge) {
       guest.MapHuge(r, gpa_block);
       ept.MapHuge(r, hpa_block);
     } else {
@@ -118,13 +149,31 @@ void BuildLayout(PageTable& guest, PageTable& ept, uint64_t regions) {
   }
 }
 
+uint64_t NextVpn(Pattern pattern, base::Rng& rng, uint64_t span, uint64_t i) {
+  switch (pattern) {
+    case Pattern::kRandom:
+      return rng.NextBelow(span);
+    case Pattern::kSequential:
+      return i % span;
+    default: {
+      // 513 is coprime to the power-of-two region counts used below, so
+      // the walk covers every region; consecutive accesses are 513 regions
+      // (≈ 1 GiB of VA) apart, crossing PD/PDPT boundaries each step.
+      const uint64_t regions = span >> kHugeOrder;
+      return ((i * 513) % regions) << kHugeOrder;
+    }
+  }
+}
+
 ScenarioResult RunScenario(const std::string& name, uint64_t regions,
                            uint64_t ops, uint64_t churn_period,
-                           uint64_t batch = 0) {
+                           uint64_t batch = 0, Layout layout = Layout::kMixed,
+                           Pattern pattern = Pattern::kRandom) {
   SIM_CHECK(churn_period == 0 || batch == 0);  // churn is scalar-only
+  SIM_CHECK(batch == 0 || pattern == Pattern::kRandom);  // patterns: scalar
   PageTable guest;
   PageTable ept;
-  BuildLayout(guest, ept, regions);
+  BuildLayout(guest, ept, regions, layout);
   TranslationEngine engine(EngineConfig(), &guest, &ept);
 
   base::Rng rng(42);
@@ -146,7 +195,7 @@ ScenarioResult RunScenario(const std::string& name, uint64_t regions,
         guest.PromoteInPlace(r);
         ept.PromoteInPlace(r);
       }
-      const uint64_t vpn = rng.NextBelow(span);
+      const uint64_t vpn = NextVpn(pattern, rng, span, i);
       const auto t = engine.Translate(vpn);
       if (t.status == TranslateStatus::kOk) {
         checksum = checksum * 1099511628211ull + t.frame;
@@ -182,7 +231,12 @@ ScenarioResult RunScenario(const std::string& name, uint64_t regions,
   res.tlb_misses = engine.tlb().misses();
   res.stale_hits = engine.tlb().stale_drops();
   res.checksum = checksum;
+  res.walk = engine.walk_stats();
   return res;
+}
+
+uint64_t Sum(const std::array<uint64_t, 4>& a) {
+  return a[0] + a[1] + a[2] + a[3];
 }
 
 std::string ToJson(const std::vector<ScenarioResult>& results) {
@@ -199,6 +253,13 @@ std::string ToJson(const std::vector<ScenarioResult>& results) {
         << ", \"tlb_hits\": " << r.tlb_hits
         << ", \"tlb_misses\": " << r.tlb_misses
         << ", \"stale_hits\": " << r.stale_hits
+        << ", \"walk_mem_refs\": " << (Sum(r.walk.guest_mem) +
+                                       Sum(r.walk.host_mem))
+        << ", \"walk_cached_refs\": " << (Sum(r.walk.guest_cached) +
+                                          Sum(r.walk.host_cached))
+        << ", \"walk_nested_hits\": " << Sum(r.walk.nested_hit)
+        << ", \"walk_memo_hits\": " << r.walk.memo_hits
+        << ", \"walk_memo_upper_hits\": " << r.walk.memo_upper_hits
         << ", \"checksum\": " << r.checksum << '}'
         << (i + 1 < results.size() ? ",\n" : "\n");
   }
@@ -229,11 +290,14 @@ double Mops(const ScenarioResult& r) {
 // determinism check on top of the scalar/batched equivalence check.
 ScenarioResult RunBest(const std::string& name, uint64_t regions,
                        uint64_t ops, uint64_t churn_period,
-                       uint64_t batch = 0) {
-  ScenarioResult best = RunScenario(name, regions, ops, churn_period, batch);
+                       uint64_t batch = 0, Layout layout = Layout::kMixed,
+                       Pattern pattern = Pattern::kRandom) {
+  ScenarioResult best =
+      RunScenario(name, regions, ops, churn_period, batch, layout, pattern);
   const uint64_t reps = ResolveReps();
   for (uint64_t rep = 1; rep < reps; ++rep) {
-    ScenarioResult r = RunScenario(name, regions, ops, churn_period, batch);
+    ScenarioResult r =
+        RunScenario(name, regions, ops, churn_period, batch, layout, pattern);
     SIM_CHECK_MSG(r.checksum == best.checksum && r.tlb_hits == best.tlb_hits &&
                       r.tlb_misses == best.tlb_misses &&
                       r.stale_hits == best.stale_hits,
@@ -271,6 +335,14 @@ int main() {
   results.push_back(RunBest("batched_mixed", 256, 1ull << 22, 0, batch));
   CheckEquivalent(results[3], results[6]);
 
+  // Walker-depth scenarios (scalar; appended so the paired indices above
+  // stay stable).  walk_seq: full-depth walks with maximal memo locality.
+  // walk_deep: PD-leaf walks with upper-level pressure.
+  results.push_back(RunBest("walk_seq", 4096, 1ull << 22, 0, 0,
+                            Layout::kAllBase, Pattern::kSequential));
+  results.push_back(RunBest("walk_deep", 4096, 1ull << 22, 0, 0,
+                            Layout::kAllHuge, Pattern::kStride));
+
   for (const ScenarioResult& r : results) {
     const double mops =
         r.wall_ms > 0.0 ? static_cast<double>(r.ops) / (r.wall_ms * 1000.0)
@@ -301,10 +373,23 @@ int main() {
               batched_wall > 0.0 ? scalar_wall / batched_wall : 0.0);
 
   const char* dir = std::getenv("GEMINI_EXPORT");
-  const std::string path =
-      (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : "") +
-      "BENCH_translation.json";
+  const std::string prefix =
+      dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : "";
+  const std::string path = prefix + "BENCH_translation.json";
   metrics::WriteFile(path, ToJson(results));
   std::printf("wrote %s\n", path.c_str());
+
+  // Per-level walk table for the scalar scenarios (the batched variants
+  // reproduce their scalar counterparts exactly, so their rows would be
+  // duplicates).
+  std::vector<metrics::WalkLevelRow> walk_rows;
+  for (const ScenarioResult& r : results) {
+    if (r.batch == 0) {
+      walk_rows.push_back(metrics::WalkLevelRow{r.scenario, r.walk});
+    }
+  }
+  const std::string walk_path = prefix + "WALK_breakdown.txt";
+  metrics::WriteFile(walk_path, metrics::RenderWalkLevelBreakdown(walk_rows));
+  std::printf("wrote %s\n", walk_path.c_str());
   return 0;
 }

@@ -130,6 +130,19 @@ int main() {
   }
   std::fputs(metrics::RenderMissBreakdown(miss_rows).c_str(), stdout);
 
+  // Second companion: what those misses cost per walk level.  Splits full
+  // Gemini's measured-phase walk references by level and dimension (guest
+  // vs host, memory vs PWC vs nested cache) and the cycles each level
+  // charged, using the walker's default cost knobs.  The miss-source table
+  // above is a pinned golden (test_metrics.cc); this one is additive.
+  std::vector<metrics::WalkLevelRow> walk_rows;
+  for (size_t n = 0; n < names.size(); ++n) {
+    const auto& full_run = cells[n * kVariants + 1].result;
+    walk_rows.push_back(
+        metrics::WalkLevelRow{names[n], full_run.counters.walk});
+  }
+  std::fputs(metrics::RenderWalkLevelBreakdown(walk_rows).c_str(), stdout);
+
   bench::ExportRows("fig16_breakdown", rows);
   return 0;
 }

@@ -10,60 +10,25 @@ namespace gemini {
 using base::kHugeOrder;
 using base::kPagesPerHuge;
 
-namespace {
-
-// First present frame of a base-mapped region, or kInvalidFrame.
-uint64_t FirstPresentFrame(const mmu::PageTable& table, uint64_t region) {
-  uint64_t found = vmem::kInvalidFrame;
-  table.ForEachBasePage(region, [&](uint32_t slot, uint64_t frame) {
-    (void)slot;
-    if (found == vmem::kInvalidFrame) {
-      found = frame;
-    }
-  });
-  return found;
-}
-
-}  // namespace
-
 bool Promoter::TryPreallocatePromote(policy::KernelOps& kernel,
                                      uint64_t region) {
   mmu::PageTable& table = kernel.table();
   // All present pages must sit at `anchor + slot` for a huge-aligned
-  // anchor; collect the missing slots.
-  uint64_t anchor = vmem::kInvalidFrame;
-  bool eligible = true;
-  table.ForEachBasePage(region, [&](uint32_t slot, uint64_t frame) {
-    if (!eligible) {
-      return;
-    }
-    const uint64_t implied_anchor = frame - slot;
-    if (frame < slot || implied_anchor % kPagesPerHuge != 0) {
-      eligible = false;
-      return;
-    }
-    if (anchor == vmem::kInvalidFrame) {
-      anchor = implied_anchor;
-    } else if (anchor != implied_anchor) {
-      eligible = false;
-    }
-  });
-  if (!eligible || anchor == vmem::kInvalidFrame) {
+  // anchor; ContiguousAnchor sweeps the present bitmap a word at a time.
+  const std::optional<uint64_t> maybe_anchor = table.ContiguousAnchor(region);
+  if (!maybe_anchor.has_value()) {
     return false;
   }
+  const uint64_t anchor = *maybe_anchor;
   // Allocate + map the missing slots at their targets.
-  std::vector<uint32_t> missing;
-  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
-    if (!table.BaseFrame(region, slot).has_value()) {
-      missing.push_back(slot);
-    }
-  }
-  for (uint32_t slot : missing) {
+  missing_.clear();
+  table.MissingSlots(region, &missing_);
+  for (uint32_t slot : missing_) {
     if (!kernel.buddy().IsFrameFree(anchor + slot)) {
       return false;  // a target frame is taken; booking lapsed
     }
   }
-  for (uint32_t slot : missing) {
+  for (uint32_t slot : missing_) {
     const bool ok = kernel.buddy().AllocateAt(anchor + slot, 1);
     (void)ok;  // guaranteed by the freeness check above
     kernel.frames().SetUse(anchor + slot, 1, kernel.vm_id(),
@@ -90,11 +55,11 @@ void Promoter::RunGuestTick(policy::KernelOps& kernel,
   const mmu::PageTable& table = kernel.table();
   table.ForEachBaseRegion([&](uint64_t region, uint32_t present) {
     kernel.ChargeOverhead(kernel.costs().daemon_scan_region);
-    const uint64_t frame = FirstPresentFrame(table, region);
-    if (frame == vmem::kInvalidFrame) {
+    const auto first = table.FirstPresent(region);
+    if (!first.has_value()) {
       return;
     }
-    const uint64_t backing = frame >> kHugeOrder;
+    const uint64_t backing = first->second >> kHugeOrder;
     // Priority: this guest region's pages live under a host huge page that
     // no guest huge page matches yet (a type-2 misaligned host page).
     const bool priority =

@@ -15,6 +15,7 @@
 #define SRC_GEMINI_PROMOTER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "gemini/channel.h"
 #include "policy/policy.h"
@@ -64,6 +65,7 @@ class Promoter {
 
   PromoterOptions options_;
   PromoterStats stats_;
+  std::vector<uint32_t> missing_;  // scratch for TryPreallocatePromote
 };
 
 }  // namespace gemini

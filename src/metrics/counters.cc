@@ -40,6 +40,18 @@ StackSnapshot StackSnapshot::Delta(const StackSnapshot& earlier) const {
   for (size_t i = 0; i < batch_size_hist.size(); ++i) {
     d.batch_size_hist[i] = batch_size_hist[i] - earlier.batch_size_hist[i];
   }
+  for (size_t l = 0; l < d.walk.guest_mem.size(); ++l) {
+    d.walk.guest_mem[l] = walk.guest_mem[l] - earlier.walk.guest_mem[l];
+    d.walk.guest_cached[l] =
+        walk.guest_cached[l] - earlier.walk.guest_cached[l];
+    d.walk.host_mem[l] = walk.host_mem[l] - earlier.walk.host_mem[l];
+    d.walk.host_cached[l] = walk.host_cached[l] - earlier.walk.host_cached[l];
+    d.walk.nested_hit[l] = walk.nested_hit[l] - earlier.walk.nested_hit[l];
+    d.walk.nested_walk[l] = walk.nested_walk[l] - earlier.walk.nested_walk[l];
+  }
+  d.walk.memo_hits = walk.memo_hits - earlier.walk.memo_hits;
+  d.walk.memo_upper_hits =
+      walk.memo_upper_hits - earlier.walk.memo_upper_hits;
   return d;
 }
 
@@ -80,6 +92,7 @@ StackSnapshot Snapshot(osim::Machine& machine, int32_t vm_id) {
   s.batch_region_groups = b.region_groups;
   s.batch_fastpath_hits = b.fastpath_hits;
   s.batch_size_hist = b.size_hist;
+  s.walk = vm.engine().walk_stats();
   return s;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "base/types.h"
+#include "mmu/nested_walker.h"
 #include "os/machine.h"
 
 namespace metrics {
@@ -55,6 +56,10 @@ struct StackSnapshot {
   uint64_t batch_region_groups = 0;
   uint64_t batch_fastpath_hits = 0;
   std::array<uint64_t, 8> batch_size_hist{};  // log2 batch-size buckets
+  // Per-level page-walk accounting (DESIGN.md §3e): where each walk level's
+  // references were served (memory vs PWC vs nested cache) plus the walk
+  // memo's replay tallies.  Levels are indexed L4..L1 (see WalkLevelStats).
+  mmu::WalkLevelStats walk{};
 
   StackSnapshot Delta(const StackSnapshot& earlier) const;
 };

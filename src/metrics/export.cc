@@ -61,7 +61,16 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
          "batch_hist_b0,batch_hist_b1,batch_hist_b2,batch_hist_b3,"
          "batch_hist_b4,batch_hist_b5,batch_hist_b6,batch_hist_b7,"
          "tlb_mode,cross_vm_evictions,vm_invalidated,conflict_evictions,"
-         "capacity_evictions,busy_cycles,wall_ms,seed\n";
+         "capacity_evictions,"
+         "walk_guest_mem_l4,walk_guest_mem_l3,walk_guest_mem_l2,"
+         "walk_guest_mem_l1,walk_guest_pwc_l4,walk_guest_pwc_l3,"
+         "walk_host_mem_l4,walk_host_mem_l3,walk_host_mem_l2,"
+         "walk_host_mem_l1,walk_host_pwc_l4,walk_host_pwc_l3,"
+         "walk_nested_hit_l4,walk_nested_hit_l3,walk_nested_hit_l2,"
+         "walk_nested_hit_l1,walk_nested_walk_l4,walk_nested_walk_l3,"
+         "walk_nested_walk_l2,walk_nested_walk_l1,"
+         "walk_memo_hits,walk_memo_upper_hits,"
+         "busy_cycles,wall_ms,seed\n";
   for (const ResultRow& row : rows) {
     SIM_CHECK(row.result != nullptr);
     const workload::RunResult& r = *row.result;
@@ -87,6 +96,22 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
         << ','
         << (r.counters.tlb_capacity_evictions_base +
             r.counters.tlb_capacity_evictions_huge);
+    const mmu::WalkLevelStats& w = r.counters.walk;
+    for (const uint64_t v : w.guest_mem) {
+      out << ',' << v;
+    }
+    out << ',' << w.guest_cached[0] << ',' << w.guest_cached[1];
+    for (const uint64_t v : w.host_mem) {
+      out << ',' << v;
+    }
+    out << ',' << w.host_cached[0] << ',' << w.host_cached[1];
+    for (const uint64_t v : w.nested_hit) {
+      out << ',' << v;
+    }
+    for (const uint64_t v : w.nested_walk) {
+      out << ',' << v;
+    }
+    out << ',' << w.memo_hits << ',' << w.memo_upper_hits;
     out << ',' << r.busy_cycles << ',' << row.wall_ms << ',' << row.seed
         << '\n';
   }
@@ -131,6 +156,28 @@ std::string ToJson(const std::vector<ResultRow>& rows) {
         << ", \"capacity_evictions\": "
         << (r.counters.tlb_capacity_evictions_base +
             r.counters.tlb_capacity_evictions_huge);
+    const mmu::WalkLevelStats& w = r.counters.walk;
+    static constexpr const char* kLevel[] = {"l4", "l3", "l2", "l1"};
+    for (size_t l = 0; l < 4; ++l) {
+      out << ", \"walk_guest_mem_" << kLevel[l] << "\": " << w.guest_mem[l];
+    }
+    out << ", \"walk_guest_pwc_l4\": " << w.guest_cached[0]
+        << ", \"walk_guest_pwc_l3\": " << w.guest_cached[1];
+    for (size_t l = 0; l < 4; ++l) {
+      out << ", \"walk_host_mem_" << kLevel[l] << "\": " << w.host_mem[l];
+    }
+    out << ", \"walk_host_pwc_l4\": " << w.host_cached[0]
+        << ", \"walk_host_pwc_l3\": " << w.host_cached[1];
+    for (size_t l = 0; l < 4; ++l) {
+      out << ", \"walk_nested_hit_" << kLevel[l]
+          << "\": " << w.nested_hit[l];
+    }
+    for (size_t l = 0; l < 4; ++l) {
+      out << ", \"walk_nested_walk_" << kLevel[l]
+          << "\": " << w.nested_walk[l];
+    }
+    out << ", \"walk_memo_hits\": " << w.memo_hits
+        << ", \"walk_memo_upper_hits\": " << w.memo_upper_hits;
     out << ", \"busy_cycles\": " << r.busy_cycles
         << ", \"wall_ms\": " << rows[i].wall_ms
         << ", \"seed\": " << rows[i].seed << '}'

@@ -40,6 +40,20 @@
 //   conflict_evictions| int    | valid-entry evictions while free ways
 //                     |        | remained elsewhere in the inserter's window
 //   capacity_evictions| int    | valid-entry evictions with the window full
+//   walk_guest_mem_l{4,3,2,1}  | int | guest-dimension table reads served
+//                     |        | from memory, per walk level (L4 = PML4 ..
+//                     |        | L1 = PT); see DESIGN.md §3e
+//   walk_guest_pwc_l{4,3} | int | guest-dimension reads served by the
+//                     |        | page-walk cache (only L4/L3 are covered,
+//                     |        | so lower levels are omitted)
+//   walk_host_mem_l{4,3,2,1}   | int | host-dimension reads from memory
+//   walk_host_pwc_l{4,3}  | int | host-dimension reads PWC-served
+//   walk_nested_hit_l{4,3,2,1} | int | guest-table-page translations served
+//                     |        | by the nested translation caches
+//   walk_nested_walk_l{4,3,2,1}| int | guest-table-page translations that
+//                     |        | needed a full host-dimension walk
+//   walk_memo_hits    | int    | full walk-memo replays (all guest levels)
+//   walk_memo_upper_hits | int | upper-level replays with a live PT probe
 //   busy_cycles       | int    | simulated cycles of the measured phase
 //   wall_ms           | number | host wall-clock of the cell, milliseconds
 //   seed              | int    | BedOptions::seed that produced the cell
@@ -79,7 +93,10 @@ struct ResultRow {
 // bookings_expired,bucket_hits,demotions,batches,batched_accesses,
 // batch_region_groups,batch_fastpath_hits,batch_hist_b0..batch_hist_b7,
 // tlb_mode,cross_vm_evictions,vm_invalidated,conflict_evictions,
-// capacity_evictions,busy_cycles,wall_ms,seed
+// capacity_evictions,walk_guest_mem_l4..l1,walk_guest_pwc_l4..l3,
+// walk_host_mem_l4..l1,walk_host_pwc_l4..l3,walk_nested_hit_l4..l1,
+// walk_nested_walk_l4..l1,walk_memo_hits,walk_memo_upper_hits,
+// busy_cycles,wall_ms,seed
 std::string ToCsv(const std::vector<ResultRow>& rows);
 
 // Renders rows as a JSON array of objects with the same fields.

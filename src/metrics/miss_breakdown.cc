@@ -72,4 +72,41 @@ std::string RenderMissBreakdown(const std::vector<MissSourceRow>& rows) {
   return table.Render();
 }
 
+base::Cycles WalkLevelCycles(const WalkLevelRow& row, size_t level) {
+  const mmu::WalkLevelStats& w = row.walk;
+  return (w.guest_mem[level] + w.host_mem[level]) *
+             row.cycles_per_memory_ref +
+         (w.guest_cached[level] + w.host_cached[level]) *
+             row.cycles_per_cached_ref;
+}
+
+std::string RenderWalkLevelBreakdown(const std::vector<WalkLevelRow>& rows) {
+  static constexpr const char* kLevelName[] = {"L4 PML4", "L3 PDPT",
+                                               "L2 PD", "L1 PT"};
+  TextTable table(
+      "Walk-level breakdown: where each level's references were served and "
+      "the miss cycles it charged (DESIGN.md §3e)");
+  table.SetColumns({"workload", "level", "guest mem", "guest pwc",
+                    "host mem", "host pwc", "nested hit", "nested walk",
+                    "cycles"});
+  for (const WalkLevelRow& row : rows) {
+    const mmu::WalkLevelStats& w = row.walk;
+    for (size_t l = 0; l < w.guest_mem.size(); ++l) {
+      table.AddRow({row.label, kLevelName[l], std::to_string(w.guest_mem[l]),
+                    std::to_string(w.guest_cached[l]),
+                    std::to_string(w.host_mem[l]),
+                    std::to_string(w.host_cached[l]),
+                    std::to_string(w.nested_hit[l]),
+                    std::to_string(w.nested_walk[l]),
+                    std::to_string(WalkLevelCycles(row, l))});
+    }
+    // Memo replays reuse recorded probe slots instead of re-hashing; the
+    // tallies contextualize the (already folded-in) per-level counts.
+    table.AddRow({row.label, "memo",
+                  "replays=" + std::to_string(w.memo_hits), "", "", "", "",
+                  "upper=" + std::to_string(w.memo_upper_hits), ""});
+  }
+  return table.Render();
+}
+
 }  // namespace metrics

@@ -31,6 +31,9 @@
 #include <string>
 #include <vector>
 
+#include "base/types.h"
+#include "mmu/nested_walker.h"
+
 namespace metrics {
 
 struct MissSourceRow {
@@ -65,6 +68,30 @@ CapacitySplit SplitCapacityMisses(const MissSourceRow& row);
 // Renders the breakdown as a TextTable: one row per input with absolute
 // misses and the three source shares, plus an arithmetic-mean row.
 std::string RenderMissBreakdown(const std::vector<MissSourceRow>& rows);
+
+// One workload's per-level walk accounting for RenderWalkLevelBreakdown:
+// the walk counters over the measured phase plus the walker's cost knobs,
+// so the table can attribute miss cycles to levels exactly the way the
+// walker charged them.
+struct WalkLevelRow {
+  std::string label;
+  mmu::WalkLevelStats walk;
+  base::Cycles cycles_per_memory_ref = 50;
+  base::Cycles cycles_per_cached_ref = 2;
+};
+
+// Miss cycles charged by one walk level across both dimensions:
+// (guest_mem + host_mem) * cycles_per_memory_ref +
+// (guest_cached + host_cached) * cycles_per_cached_ref.  Level indices are
+// WalkLevelStats's (0 = L4 .. 3 = L1).  Nested-cache hits are free by the
+// cost model, so they appear in the table only as reference counts.
+base::Cycles WalkLevelCycles(const WalkLevelRow& row, size_t level);
+
+// Renders the per-walk-level companion table: one row per (workload,
+// level) with where that level's references were served and the cycles it
+// charged, plus per-workload memo replay tallies.  Separate from
+// RenderMissBreakdown so the fig16 golden output is untouched.
+std::string RenderWalkLevelBreakdown(const std::vector<WalkLevelRow>& rows);
 
 }  // namespace metrics
 

@@ -1,37 +1,65 @@
 #include "mmu/page_table.h"
 
+#include <cstring>
+
 #include "base/check.h"
 
 namespace mmu {
 
 using base::kPagesPerHuge;
 
+PageTable::BaseRegion* PageTable::NodePool::Acquire() {
+  BaseRegion* node;
+  if (!free_.empty()) {
+    node = free_.back();
+    free_.pop_back();
+  } else {
+    if (used_in_last_chunk_ == kChunkNodes) {
+      chunks_.push_back(std::make_unique<BaseRegion[]>(kChunkNodes));
+      used_in_last_chunk_ = 0;
+    }
+    node = &chunks_.back()[used_in_last_chunk_++];
+    ++handed_out_;
+  }
+  // A node starts (and restarts) empty: all frame cells at the absent
+  // sentinel, all present words clear.  Doing the wipe here, once per
+  // region (re)creation, keeps Release O(1).
+  std::memset(node->frames.data(), 0xFF, sizeof(node->frames));
+  node->present.fill(0);
+  return node;
+}
+
 void PageTable::Grow(uint64_t region) {
   // Geometric growth keeps amortized slot creation O(1) even when the
   // address space expands one VMA at a time (churn workloads).
-  uint64_t target = slots_.empty() ? 64 : slots_.size();
+  uint64_t target = route_.empty() ? 64 : route_.size();
   while (target <= region) {
     target *= 2;
   }
-  slots_.resize(target);
+  route_.resize(target, 0);
+  generations_.resize(target, 0);
+  accesses_.resize(target, 0);
 }
 
 void PageTable::MapBase(uint64_t vpn, uint64_t frame) {
+  SIM_CHECK(frame < kAbsentFrame);  // frame cells are 32-bit (see header)
   const uint64_t region = vpn >> base::kHugeOrder;
   const uint32_t slot = static_cast<uint32_t>(vpn & (kPagesPerHuge - 1));
-  Slot& entry = SlotFor(region);
-  SIM_CHECK_MSG(!entry.is_huge, "MapBase into huge-mapped region %llu",
+  EnsureRegion(region);
+  SIM_CHECK_MSG((route_[region] & 1) == 0,
+                "MapBase into huge-mapped region %llu",
                 static_cast<unsigned long long>(region));
-  if (!entry.base) {
-    entry.base = std::make_unique<BaseRegion>();
+  BaseRegion* br = BaseNode(region);
+  if (br == nullptr) {
+    br = pool_.Acquire();
+    route_[region] = reinterpret_cast<uint64_t>(br);
     ++mapped_regions_;
   }
-  SIM_CHECK_MSG(!entry.base->present[slot], "double map of vpn %llu",
+  SIM_CHECK_MSG(!br->Test(slot), "double map of vpn %llu",
                 static_cast<unsigned long long>(vpn));
-  entry.base->frames[slot] = frame;
-  entry.base->present[slot] = true;
-  ++entry.generation;
-  ++mutations_;
+  br->frames[slot] = static_cast<uint32_t>(frame);
+  br->Set(slot);
+  BumpGeneration(region);
   ++mapped_base_pages_;
 }
 
@@ -39,13 +67,13 @@ void PageTable::MapHuge(uint64_t region, uint64_t frame) {
   SIM_CHECK_MSG(frame % kPagesPerHuge == 0,
                 "huge mapping target not huge-aligned: frame %llu",
                 static_cast<unsigned long long>(frame));
-  Slot& entry = SlotFor(region);
-  SIM_CHECK_MSG(!entry.mapped(), "MapHuge into non-empty region %llu",
+  EnsureRegion(region);
+  SIM_CHECK_MSG(route_[region] == 0, "MapHuge into non-empty region %llu",
                 static_cast<unsigned long long>(region));
-  entry.is_huge = true;
-  entry.huge_frame = frame;
-  ++entry.generation;
-  ++mutations_;
+  // Huge leaves live entirely in the route word: no node is allocated, so
+  // huge-heavy address spaces cost 8 bytes of hot state per region.
+  route_[region] = (frame << 1) | 1;
+  BumpGeneration(region);
   ++mapped_regions_;
   ++huge_leaves_;
 }
@@ -53,70 +81,62 @@ void PageTable::MapHuge(uint64_t region, uint64_t frame) {
 uint64_t PageTable::UnmapBase(uint64_t vpn) {
   const uint64_t region = vpn >> base::kHugeOrder;
   const uint32_t slot = static_cast<uint32_t>(vpn & (kPagesPerHuge - 1));
-  SIM_CHECK(region < slots_.size());
-  Slot& entry = slots_[region];
-  SIM_CHECK(!entry.is_huge && entry.base);
-  BaseRegion& br = *entry.base;
-  SIM_CHECK(br.present[slot]);
-  const uint64_t frame = br.frames[slot];
-  br.present[slot] = false;
-  ++entry.generation;
-  ++mutations_;
+  SIM_CHECK(region < route_.size());
+  BaseRegion* br = BaseNode(region);
+  SIM_CHECK(br != nullptr);
+  SIM_CHECK(br->Test(slot));
+  const uint64_t frame = br->frames[slot];
+  br->frames[slot] = kAbsentFrame;
+  br->Clear(slot);
+  BumpGeneration(region);
   --mapped_base_pages_;
-  if (br.present.none()) {
-    entry.base.reset();
+  if (br->None()) {
+    pool_.Release(br);
+    route_[region] = 0;
     --mapped_regions_;
   }
   return frame;
 }
 
 uint64_t PageTable::UnmapHuge(uint64_t region) {
-  SIM_CHECK(region < slots_.size());
-  Slot& entry = slots_[region];
-  SIM_CHECK(entry.is_huge);
-  const uint64_t frame = entry.huge_frame;
-  entry.is_huge = false;
-  entry.huge_frame = 0;
-  ++entry.generation;
-  ++mutations_;
+  SIM_CHECK(region < route_.size());
+  SIM_CHECK(route_[region] & 1);
+  const uint64_t frame = route_[region] >> 1;
+  route_[region] = 0;
+  BumpGeneration(region);
   --mapped_regions_;
   --huge_leaves_;
   return frame;
 }
 
 bool PageTable::CanPromoteInPlace(uint64_t region) const {
-  if (region >= slots_.size()) {
+  const BaseRegion* br = BaseNode(region);
+  if (br == nullptr || !br->All()) {
     return false;
   }
-  const Slot& entry = slots_[region];
-  if (entry.is_huge || !entry.base) {
-    return false;
-  }
-  const BaseRegion& br = *entry.base;
-  if (!br.present.all()) {
-    return false;
-  }
-  const uint64_t first = br.frames[0];
+  const uint32_t first = br->frames[0];
   if (first % kPagesPerHuge != 0) {
     return false;
   }
-  for (uint32_t i = 1; i < kPagesPerHuge; ++i) {
-    if (br.frames[i] != first + i) {
-      return false;
-    }
+  // Branchless reduction over the (fully present) frame cells; the 32-bit
+  // cells and fixed trip count let the compiler vectorize the sweep.
+  uint32_t diff = 0;
+  for (uint32_t i = 0; i < kPagesPerHuge; ++i) {
+    diff |= br->frames[i] ^ (first + i);
+  }
+  if (diff != 0) {
+    return false;
   }
   return true;
 }
 
 void PageTable::PromoteInPlace(uint64_t region) {
   SIM_CHECK(CanPromoteInPlace(region));
-  Slot& entry = slots_[region];
-  const uint64_t frame = entry.base->frames[0];
-  entry.base.reset();
-  entry.is_huge = true;
-  entry.huge_frame = frame;
-  ++entry.generation;
-  ++mutations_;
+  BaseRegion* br = BaseNode(region);
+  const uint64_t frame = br->frames[0];
+  pool_.Release(br);
+  route_[region] = (frame << 1) | 1;
+  BumpGeneration(region);
   mapped_base_pages_ -= kPagesPerHuge;
   ++huge_leaves_;
 }
@@ -124,108 +144,69 @@ void PageTable::PromoteInPlace(uint64_t region) {
 std::vector<std::pair<uint32_t, uint64_t>> PageTable::PromoteWithMigration(
     uint64_t region, uint64_t new_frame) {
   SIM_CHECK(new_frame % kPagesPerHuge == 0);
-  SIM_CHECK(region < slots_.size());
-  Slot& entry = slots_[region];
-  SIM_CHECK(!entry.is_huge && entry.base);
+  SIM_CHECK(region < route_.size());
+  BaseRegion* br = BaseNode(region);
+  SIM_CHECK(br != nullptr);
   std::vector<std::pair<uint32_t, uint64_t>> old_pages;
-  const BaseRegion& br = *entry.base;
-  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
-    if (br.present[slot]) {
-      old_pages.emplace_back(slot, br.frames[slot]);
-    }
-  }
+  ForEachBasePage(region, [&old_pages](uint32_t slot, uint64_t frame) {
+    old_pages.emplace_back(slot, frame);
+  });
   mapped_base_pages_ -= old_pages.size();
-  entry.base.reset();
-  entry.is_huge = true;
-  entry.huge_frame = new_frame;
-  ++entry.generation;
-  ++mutations_;
+  pool_.Release(br);
+  route_[region] = (new_frame << 1) | 1;
+  BumpGeneration(region);
   ++huge_leaves_;
   return old_pages;
 }
 
 void PageTable::Demote(uint64_t region) {
-  SIM_CHECK(region < slots_.size());
-  Slot& entry = slots_[region];
-  SIM_CHECK(entry.is_huge);
-  const uint64_t frame = entry.huge_frame;
-  entry.is_huge = false;
-  entry.huge_frame = 0;
-  entry.base = std::make_unique<BaseRegion>();
-  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
-    entry.base->frames[slot] = frame + slot;
-    entry.base->present[slot] = true;
-  }
-  ++entry.generation;
-  ++mutations_;
+  SIM_CHECK(region < route_.size());
+  SIM_CHECK(route_[region] & 1);
+  const uint64_t frame = route_[region] >> 1;
+  SIM_CHECK(frame + kPagesPerHuge <= kAbsentFrame);  // must fit 32-bit cells
+  BaseRegion* node = pool_.Acquire();
+  FillContiguous(node, frame);
+  route_[region] = reinterpret_cast<uint64_t>(node);
+  BumpGeneration(region);
   --huge_leaves_;
   mapped_base_pages_ += kPagesPerHuge;
 }
 
-std::optional<Translation> PageTable::Lookup(uint64_t vpn) const {
-  const uint64_t region = vpn >> base::kHugeOrder;
-  const uint32_t slot = static_cast<uint32_t>(vpn & (kPagesPerHuge - 1));
-  if (region >= slots_.size()) {
-    return std::nullopt;
-  }
-  const Slot& entry = slots_[region];
-  if (entry.is_huge) {
-    return Translation{entry.huge_frame + slot, base::PageSize::kHuge};
-  }
-  if (!entry.base || !entry.base->present[slot]) {
-    return std::nullopt;
-  }
-  return Translation{entry.base->frames[slot], base::PageSize::kBase};
-}
-
-bool PageTable::IsHugeMapped(uint64_t region) const {
-  return region < slots_.size() && slots_[region].is_huge;
-}
-
 uint32_t PageTable::PresentBasePages(uint64_t region) const {
-  if (region >= slots_.size()) {
-    return 0;
-  }
-  const Slot& entry = slots_[region];
-  if (entry.is_huge || !entry.base) {
-    return 0;
-  }
-  return static_cast<uint32_t>(entry.base->present.count());
+  const BaseRegion* br = BaseNode(region);
+  return br != nullptr ? br->Count() : 0;
 }
 
 std::optional<uint64_t> PageTable::BaseFrame(uint64_t region,
                                              uint32_t slot) const {
-  if (region >= slots_.size()) {
+  const BaseRegion* br = BaseNode(region);
+  if (br == nullptr || !br->Test(slot)) {
     return std::nullopt;
   }
-  const Slot& entry = slots_[region];
-  if (entry.is_huge || !entry.base || !entry.base->present[slot]) {
-    return std::nullopt;
-  }
-  return entry.base->frames[slot];
+  return br->frames[slot];
 }
 
 void PageTable::DecayAccessCounts() {
-  for (Slot& entry : slots_) {
-    entry.accesses >>= 1;
+  for (uint64_t& a : accesses_) {
+    a >>= 1;
   }
 }
 
 void PageTable::ForEachHuge(
     const std::function<void(uint64_t, uint64_t)>& fn) const {
-  for (uint64_t region = 0; region < slots_.size(); ++region) {
-    if (slots_[region].is_huge) {
-      fn(region, slots_[region].huge_frame);
+  for (uint64_t region = 0; region < route_.size(); ++region) {
+    if (route_[region] & 1) {
+      fn(region, route_[region] >> 1);
     }
   }
 }
 
 void PageTable::ForEachBaseRegion(
     const std::function<void(uint64_t, uint32_t)>& fn) const {
-  for (uint64_t region = 0; region < slots_.size(); ++region) {
-    const Slot& entry = slots_[region];
-    if (!entry.is_huge && entry.base) {
-      fn(region, static_cast<uint32_t>(entry.base->present.count()));
+  for (uint64_t region = 0; region < route_.size(); ++region) {
+    const uint64_t route = route_[region];
+    if (route != 0 && (route & 1) == 0) {
+      fn(region, reinterpret_cast<const BaseRegion*>(route)->Count());
     }
   }
 }
@@ -233,17 +214,83 @@ void PageTable::ForEachBaseRegion(
 void PageTable::ForEachBasePage(
     uint64_t region,
     const std::function<void(uint32_t, uint64_t)>& fn) const {
-  if (region >= slots_.size()) {
+  const BaseRegion* br = BaseNode(region);
+  if (br == nullptr) {
     return;
   }
-  const Slot& entry = slots_[region];
-  if (entry.is_huge || !entry.base) {
+  for (uint32_t w = 0; w < br->present.size(); ++w) {
+    uint64_t word = br->present[w];
+    while (word != 0) {
+      const uint32_t slot =
+          w * 64 + static_cast<uint32_t>(__builtin_ctzll(word));
+      fn(slot, br->frames[slot]);
+      word &= word - 1;  // clear lowest set bit
+    }
+  }
+}
+
+std::optional<std::pair<uint32_t, uint64_t>> PageTable::FirstPresent(
+    uint64_t region) const {
+  const BaseRegion* br = BaseNode(region);
+  if (br == nullptr) {
+    return std::nullopt;
+  }
+  for (uint32_t w = 0; w < br->present.size(); ++w) {
+    if (br->present[w] != 0) {
+      const uint32_t slot =
+          w * 64 + static_cast<uint32_t>(__builtin_ctzll(br->present[w]));
+      return std::make_pair(slot, br->frames[slot]);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> PageTable::ContiguousAnchor(uint64_t region) const {
+  const BaseRegion* br = BaseNode(region);
+  if (br == nullptr) {
+    return std::nullopt;
+  }
+  const auto first = FirstPresent(region);
+  if (!first.has_value()) {
+    return std::nullopt;
+  }
+  // Anchor implied by the first present page; every other present page must
+  // agree (frames[slot] == anchor + slot) and it must be huge-aligned.
+  if (first->second < first->first) {
+    return std::nullopt;
+  }
+  const uint64_t anchor = first->second - first->first;
+  if (anchor % kPagesPerHuge != 0) {
+    return std::nullopt;
+  }
+  // Word-at-a-time: the sentinel makes absent cells all-ones, so comparing
+  // frames[slot] - slot == anchor over present slots only needs the present
+  // word to mask out the absent positions.
+  for (uint32_t w = 0; w < br->present.size(); ++w) {
+    uint64_t word = br->present[w];
+    while (word != 0) {
+      const uint32_t slot =
+          w * 64 + static_cast<uint32_t>(__builtin_ctzll(word));
+      if (br->frames[slot] != anchor + slot) {
+        return std::nullopt;
+      }
+      word &= word - 1;
+    }
+  }
+  return anchor;
+}
+
+void PageTable::MissingSlots(uint64_t region,
+                             std::vector<uint32_t>* out) const {
+  const BaseRegion* br = BaseNode(region);
+  if (br == nullptr) {
     return;
   }
-  const BaseRegion& br = *entry.base;
-  for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
-    if (br.present[slot]) {
-      fn(slot, br.frames[slot]);
+  for (uint32_t w = 0; w < br->present.size(); ++w) {
+    uint64_t word = ~br->present[w];
+    while (word != 0) {
+      out->push_back(w * 64 + static_cast<uint32_t>(__builtin_ctzll(word)));
+      word &= word - 1;
     }
   }
 }
@@ -252,21 +299,30 @@ void PageTable::CheckInvariants() const {
   uint64_t bases = 0;
   uint64_t huges = 0;
   uint64_t mapped = 0;
-  for (const Slot& entry : slots_) {
-    if (entry.is_huge) {
-      SIM_CHECK(!entry.base);
-      SIM_CHECK(entry.huge_frame % kPagesPerHuge == 0);
+  for (uint64_t region = 0; region < route_.size(); ++region) {
+    const uint64_t route = route_[region];
+    if (route & 1) {
+      SIM_CHECK((route >> 1) % kPagesPerHuge == 0);
       ++huges;
       ++mapped;
-    } else if (entry.base) {
-      SIM_CHECK(entry.base->present.any());  // empty tables are released
-      bases += entry.base->present.count();
+    } else if (route != 0) {
+      const BaseRegion* br = reinterpret_cast<const BaseRegion*>(route);
+      SIM_CHECK(!br->None());  // empty tables are released
+      bases += br->Count();
       ++mapped;
+      // Sentinel/present agreement: the hot path trusts the frame cell
+      // alone, the sweeps trust the present words alone.
+      for (uint32_t slot = 0; slot < kPagesPerHuge; ++slot) {
+        SIM_CHECK((br->frames[slot] != kAbsentFrame) == br->Test(slot));
+      }
     }
   }
   SIM_CHECK(bases == mapped_base_pages_);
   SIM_CHECK(huges == huge_leaves_);
   SIM_CHECK(mapped == mapped_regions_);
+  // Exactly the base-mapped regions hold arena nodes (huge leaves are
+  // route-inline).
+  SIM_CHECK(pool_.live() == mapped_regions_ - huge_leaves_);
 }
 
 }  // namespace mmu

@@ -14,18 +14,46 @@
 // information and are modeled only in the walk cost (see nested_walker.h).
 // The address spaces the simulator builds are dense (VMAs grow upward from
 // a fixed base, guest-physical space starts at 0), so direct indexing
-// makes every lookup, access bump, and generation read O(1).  The walker's
-// PrefixCache adds the matching MRU last-entry fast path for the
-// same-region probe streams the translation hot path issues.
+// makes every lookup, access bump, and generation read O(1).
 //
-// Each slot also carries a *generation counter*, bumped by every mapping
+// Storage layout (DESIGN.md §3e).  The hot path reads exactly two things:
+// a per-region *route word* and one frame cell.  The route vector packs a
+// region's mapping state into one uint64_t — 0 = unmapped, otherwise a
+// pointer to the region's 512-slot node, with bit 0 tagging a huge leaf —
+// so classifying a region is a single dense load instead of touching a fat
+// struct.  Nodes live in a grow-only arena (chunked slab, see NodePool
+// below) rather than as per-region heap allocations, and their frame
+// cells use an all-ones sentinel for absent pages, so a lookup is route
+// load -> frame load -> sentinel compare: one arena touch, no separate
+// present-bit read.  Huge leaves carry their frame *inline in the route
+// word* (frame << 1, bit 0 set) — a huge lookup touches only the dense
+// route vector, never an arena node, which keeps the hot working set of a
+// huge-heavy address space to 8 bytes per region.  The huge/base
+// distinction is still a select rather than a branch (workloads interleave
+// huge and base regions unpredictably, so a size branch mispredicts): the
+// node load is issued unconditionally, redirected to a static dummy node
+// for huge routes, and the frame comes from a select on the route bit.
+// (Backing huge leaves with real precomputed-fan-out nodes was tried and
+// measured slower: the extra node touch per huge lookup doubles the
+// DRAM-resident working set, costing more than the avoided branch ever
+// did.)  Present bits are
+// kept, as 8 uint64_t words per node, for the word-at-a-time sweeps the
+// promotion scans use (count/all/none, find-first, missing-slot
+// enumeration); map/unmap keep word and sentinel in sync and
+// CheckInvariants verifies they agree.  Generation and access counters
+// live in parallel dense vectors (structure-of-arrays): the miss path
+// touches them once each, and the decay sweep becomes a contiguous
+// vectorizable loop.
+//
+// Each region carries a *generation counter*, bumped by every mapping
 // mutation that touches the region (map, unmap, promote, demote).  The
 // translation engine stamps TLB entries with the generations they were
 // filled under, which turns TLB-hit validation into a pure integer
 // compare — the software analogue of a precisely invalidated (INVLPG /
-// tagged INVEPT) TLB.  Generations survive region teardown: slots are
-// never recycled for a different region, so a stale TLB entry can never
-// alias a later remapping.
+// tagged INVEPT) TLB.  Generations survive region teardown *and node
+// recycling*: they live in the per-region vector, never inside arena
+// nodes, and region slots are never re-indexed, so a recycled node can
+// never alias a stale TLB entry of the region that previously owned it.
 //
 // The table also keeps a per-region access counter, bumped by the
 // translation engine on TLB misses.  Promotion policies (HawkEye's
@@ -34,11 +62,11 @@
 #define SRC_MMU_PAGE_TABLE_H_
 
 #include <array>
-#include <bitset>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "base/types.h"
@@ -98,9 +126,37 @@ class PageTable {
 
   // --- Lookup / inspection ------------------------------------------------
 
-  std::optional<Translation> Lookup(uint64_t vpn) const;
+  std::optional<Translation> Lookup(uint64_t vpn) const {
+    const uint64_t region = vpn >> base::kHugeOrder;
+    const uint32_t slot =
+        static_cast<uint32_t>(vpn & (base::kPagesPerHuge - 1));
+    if (region >= route_.size()) {
+      return std::nullopt;
+    }
+    const uint64_t route = route_[region];
+    if (route == 0) {
+      return std::nullopt;
+    }
+    // The huge/base distinction is a select, not a branch: workloads
+    // interleave huge and base regions unpredictably, so a size branch
+    // here mispredicts constantly.  Huge routes carry their frame inline
+    // (no node touch); the node load is redirected to a static dummy so it
+    // can issue unconditionally (L1-resident for huge lookups).
+    const bool huge = (route & 1) != 0;
+    const BaseRegion* node =
+        huge ? &kDummyNode : reinterpret_cast<const BaseRegion*>(route);
+    const uint32_t base_frame = node->frames[slot];
+    if (!huge && base_frame == kAbsentFrame) {
+      return std::nullopt;
+    }
+    const uint64_t frame = huge ? (route >> 1) + slot : base_frame;
+    return Translation{frame,
+                       huge ? base::PageSize::kHuge : base::PageSize::kBase};
+  }
 
-  bool IsHugeMapped(uint64_t region) const;
+  bool IsHugeMapped(uint64_t region) const {
+    return region < route_.size() && (route_[region] & 1) != 0;
+  }
   // Number of present base pages in the region (0 if huge-mapped or empty).
   uint32_t PresentBasePages(uint64_t region) const;
   // Frame of a specific base slot if present.
@@ -122,7 +178,7 @@ class PageTable {
   // interval in which every Lookup in the region was stable.  Never-touched
   // regions report 0.
   uint64_t generation(uint64_t region) const {
-    return region < slots_.size() ? slots_[region].generation : 0;
+    return region < generations_.size() ? generations_[region] : 0;
   }
 
   // Table-wide mutation count: bumped exactly when any region's generation
@@ -138,37 +194,42 @@ class PageTable {
   //
   // Purely advisory cache warming for a translation that will be issued
   // shortly; no observable state is read or written.  Split in two stages
-  // because the base-page frame cell is behind the slot's table pointer:
-  // stage 1 pulls the region slot, stage 2 (issued a few accesses later,
-  // once the slot line has arrived) chases the pointer to the frame cell.
+  // because the base-page frame cell is behind the region's route word:
+  // stage 1 pulls the route word, stage 2 (issued a few accesses later,
+  // once the route line has arrived) chases the pointer to the frame cell.
   void PrefetchRegion(uint64_t region) const {
-    if (region < slots_.size()) {
-      __builtin_prefetch(&slots_[region], 0, 1);
+    if (region < route_.size()) {
+      __builtin_prefetch(&route_[region], 0, 1);
     }
   }
   void PrefetchPage(uint64_t vpn) const {
     const uint64_t region = vpn >> base::kHugeOrder;
-    if (region >= slots_.size()) {
+    if (region >= route_.size()) {
       return;
     }
-    const Slot& entry = slots_[region];
-    if (const BaseRegion* br = entry.base.get(); br != nullptr) {
+    const uint64_t route = route_[region];
+    // Huge routes hold their frame inline: the route load (stage 1) already
+    // warmed everything.  Only base regions have a frame cell to chase.
+    if (route != 0 && (route & 1) == 0) {
       const uint32_t slot =
           static_cast<uint32_t>(vpn & (base::kPagesPerHuge - 1));
-      __builtin_prefetch(&br->frames[slot], 0, 1);
-      __builtin_prefetch(&br->present, 0, 1);
+      __builtin_prefetch(
+          &reinterpret_cast<const BaseRegion*>(route)->frames[slot], 0, 1);
     }
   }
 
   // --- Access tracking ----------------------------------------------------
 
-  void BumpAccess(uint64_t region) { SlotFor(region).accesses += 1; }
+  void BumpAccess(uint64_t region) {
+    EnsureRegion(region);
+    ++accesses_[region];
+  }
   uint64_t AccessCount(uint64_t region) const {
-    return region < slots_.size() ? slots_[region].accesses : 0;
+    return region < accesses_.size() ? accesses_[region] : 0;
   }
   void DecayAccessCounts();  // halves all counters (aging)
 
-  // --- Iteration ----------------------------------------------------------
+  // --- Iteration / sweeps --------------------------------------------------
 
   // Visits every huge leaf as (region, frame).
   void ForEachHuge(const std::function<void(uint64_t, uint64_t)>& fn) const;
@@ -176,45 +237,162 @@ class PageTable {
   // (region, present_count).
   void ForEachBaseRegion(
       const std::function<void(uint64_t, uint32_t)>& fn) const;
-  // Visits every present base page in a region as (slot, frame).
+  // Visits every present base page in a region as (slot, frame), ascending.
   void ForEachBasePage(
       uint64_t region,
       const std::function<void(uint32_t, uint64_t)>& fn) const;
+
+  // Word-at-a-time sweep primitives for the promotion scans (ctz/popcount
+  // over the present words instead of per-slot probes):
+
+  // First present base page of a region as (slot, frame).
+  std::optional<std::pair<uint32_t, uint64_t>> FirstPresent(
+      uint64_t region) const;
+  // The unique huge-aligned anchor A such that every present base page at
+  // `slot` maps to frame A + slot, if one exists (the in-place / buddy
+  // promotion precondition on the pages already present).  nullopt if the
+  // region is not base-mapped, a frame breaks the pattern, or the implied
+  // anchor is negative or misaligned.
+  std::optional<uint64_t> ContiguousAnchor(uint64_t region) const;
+  // Appends the slots of a base-mapped region with no present page to
+  // `out`, ascending.
+  void MissingSlots(uint64_t region, std::vector<uint32_t>* out) const;
+
+  // --- Arena telemetry -----------------------------------------------------
+
+  struct ArenaStats {
+    uint64_t chunks = 0;      // slabs allocated (never freed)
+    uint64_t live_nodes = 0;  // nodes currently backing a base region
+    uint64_t free_nodes = 0;  // recycled nodes awaiting reuse
+  };
+  ArenaStats arena_stats() const {
+    return ArenaStats{pool_.chunks(), pool_.live(), pool_.free_count()};
+  }
 
   // Verifies counters against the table contents (tests).
   void CheckInvariants() const;
 
  private:
+  // Frame-cell sentinel for absent base pages: lets the lookup hot path
+  // decide presence from the frame cell alone.  Frame cells are 32-bit —
+  // the simulated physical spaces top out at a few million 4 KiB frames,
+  // and halving the cell width halves the arena's cache-resident footprint
+  // (the frame-cell load is the lookup's one data-dependent far touch, so
+  // its residency is what the miss path's latency is made of).  MapBase
+  // checks the bound.
+  static constexpr uint32_t kAbsentFrame = ~0u;
+
+  // A 512-slot node, backing either a base-page table or a huge leaf's
+  // precomputed fan-out.  `frames` is authoritative for the hot path
+  // (kAbsentFrame = absent); `present` mirrors it word-packed for the
+  // sweep primitives.  Nodes are pool-owned and recycled across regions;
+  // nothing identity-bearing (generations, access counts) lives here.
   struct BaseRegion {
-    std::array<uint64_t, base::kPagesPerHuge> frames;
-    std::bitset<base::kPagesPerHuge> present;
-  };
-  struct Slot {
-    // At most one of the two is active: a non-null `base` is a base-page
-    // table, `is_huge` a huge leaf; neither means the region is unmapped.
-    // `generation` and `accesses` outlive the mapping itself.
-    std::unique_ptr<BaseRegion> base;
-    uint64_t huge_frame = 0;
-    uint64_t generation = 0;
-    uint64_t accesses = 0;
-    bool is_huge = false;
+    std::array<uint32_t, base::kPagesPerHuge> frames;
+    std::array<uint64_t, base::kPagesPerHuge / 64> present;
 
-    bool mapped() const { return is_huge || base != nullptr; }
+    bool Test(uint32_t slot) const {
+      return (present[slot >> 6] >> (slot & 63)) & 1;
+    }
+    void Set(uint32_t slot) { present[slot >> 6] |= 1ull << (slot & 63); }
+    void Clear(uint32_t slot) { present[slot >> 6] &= ~(1ull << (slot & 63)); }
+    uint32_t Count() const {
+      uint32_t n = 0;
+      for (const uint64_t w : present) {
+        n += static_cast<uint32_t>(__builtin_popcountll(w));
+      }
+      return n;
+    }
+    bool None() const {
+      uint64_t any = 0;
+      for (const uint64_t w : present) {
+        any |= w;
+      }
+      return any == 0;
+    }
+    bool All() const {
+      uint64_t all = ~0ull;
+      for (const uint64_t w : present) {
+        all &= w;
+      }
+      return all == ~0ull;
+    }
   };
 
-  // Grows the vector to cover `region` and returns its slot.
-  Slot& SlotFor(uint64_t region) {
-    if (region >= slots_.size()) {
+  // Grow-only arena of base-page nodes: nodes are handed out from fixed
+  // slabs (stable addresses — the route words point straight at them) and
+  // recycled through a free list when a region's last base page goes away.
+  // The slab layout is what makes the miss path's node touches land in a
+  // few large contiguous allocations instead of a heap spray.
+  class NodePool {
+   public:
+    BaseRegion* Acquire();
+    void Release(BaseRegion* node) { free_.push_back(node); }
+
+    uint64_t chunks() const { return chunks_.size(); }
+    uint64_t live() const { return handed_out_ - free_.size(); }
+    uint64_t free_count() const { return free_.size(); }
+
+   private:
+    static constexpr uint32_t kChunkNodes = 16;  // ~66 KiB per slab
+
+    std::vector<std::unique_ptr<BaseRegion[]>> chunks_;
+    std::vector<BaseRegion*> free_;
+    uint32_t used_in_last_chunk_ = kChunkNodes;  // forces a chunk on first use
+    uint64_t handed_out_ = 0;  // lifetime Acquire() count
+  };
+
+  // Node of a *base-mapped* region (nullptr if unmapped or huge).
+  BaseRegion* BaseNode(uint64_t region) {
+    const uint64_t route = route_[region];
+    return (route & 1) == 0 ? reinterpret_cast<BaseRegion*>(route) : nullptr;
+  }
+  const BaseRegion* BaseNode(uint64_t region) const {
+    if (region >= route_.size()) {
+      return nullptr;
+    }
+    const uint64_t route = route_[region];
+    return (route & 1) == 0 ? reinterpret_cast<const BaseRegion*>(route)
+                            : nullptr;
+  }
+  // All-absent node the lookup's unconditional load lands on for huge
+  // routes (zero-init: frames are ignored on the huge path, so any
+  // contents work; one shared 4 KiB L1-resident line set).
+  inline static const BaseRegion kDummyNode{};
+
+  // Points a node's 512 frame cells at frame .. frame + 511 and marks all
+  // present (the Demote result).
+  static void FillContiguous(BaseRegion* node, uint64_t frame) {
+    for (uint32_t slot = 0; slot < base::kPagesPerHuge; ++slot) {
+      node->frames[slot] = static_cast<uint32_t>(frame) + slot;
+    }
+    node->present.fill(~0ull);
+  }
+
+  // Grows the per-region vectors to cover `region`.
+  void EnsureRegion(uint64_t region) {
+    if (region >= route_.size()) {
       Grow(region);
     }
-    return slots_[region];
   }
   void Grow(uint64_t region);
+  void BumpGeneration(uint64_t region) {
+    ++generations_[region];
+    ++mutations_;
+  }
 
-  std::vector<Slot> slots_;  // indexed by region; never shrinks
+  // Per-region state, structure-of-arrays (see file comment).  route_[r]:
+  // 0 = unmapped; bit 0 set = huge leaf with frame = route >> 1; bit 0
+  // clear = pointer to the region's base-page node (nodes are 8-byte
+  // aligned, so the tag is free and pointers round-trip through the
+  // shift-free representation).
+  std::vector<uint64_t> route_;
+  std::vector<uint64_t> generations_;
+  std::vector<uint64_t> accesses_;
+  NodePool pool_;
   uint64_t mapped_base_pages_ = 0;
   uint64_t huge_leaves_ = 0;
-  uint64_t mapped_regions_ = 0;  // slots with mapped() == true
+  uint64_t mapped_regions_ = 0;  // regions with any mapping
   uint64_t mutations_ = 0;       // sum of all generation bumps
 };
 

@@ -24,39 +24,46 @@ namespace mmu {
 
 // One fully-associative LRU cache of address prefixes.
 //
-// Stored as a flat key array with per-entry LRU stamps rather than a
-// linked list + hash map: the capacities in play are tiny (tens of
-// entries), so a contiguous scan beats node-based structures — and, unlike
-// them, a thrashing workload (e.g. a PT-level nested cache under a random
-// working set far beyond its reach) costs zero allocations per miss.  The
-// replacement behavior is exactly LRU, identical to a list-based
-// implementation: simulated walk costs do not change.
+// Storage is a flat slab of keys with two O(1) indices over it: a chained
+// hash index (probe without scanning the slab) and an intrusive
+// doubly-linked recency list (exact LRU victim without scanning for a
+// minimum stamp).  The nested walker probes these caches ~10 times per 2D
+// walk, so the pre-arena implementation's O(capacity) probe and eviction
+// scans were the simulator's dominant miss-path cost
+// (BENCH_translation.json miss_heavy).  Replacement behavior is exactly
+// LRU and byte-identical to the scan version: a hit moves the entry to the
+// list head, the eviction victim is the list tail — the same entry a
+// least-stamp scan would pick.  The indices only change *how fast* the
+// same decisions are made.  (A lazy stamp-on-hit/scan-on-evict variant was
+// measured too: it loses, because the one cache that evicts at a high rate
+// — the PT-level nested cache under sparse base-page traffic — pays the
+// full scan on every eviction, while the list's hit-path splice early-outs
+// for the stable caches whose entries sit at the head anyway.)
+//
+// The cache also keeps a *mutation counter*, bumped whenever the key set
+// changes (insert, evict, flush) and never by LRU refreshes.  Two equal
+// reads bracket an interval in which every Lookup verdict was stable and
+// every key kept its slot — this is the validation primitive the nested
+// walker's walk memo builds on (see nested_walker.h): a memoized walk
+// re-validates in O(levels) counter compares and re-touches the recorded
+// slots via Touch() without re-probing the index.
 class PrefixCache {
  public:
-  explicit PrefixCache(uint32_t capacity) : capacity_(capacity) {
-    keys_.reserve(capacity);
-    stamps_.reserve(capacity);
-  }
+  explicit PrefixCache(uint32_t capacity);
 
   // Returns true (and refreshes LRU) if the prefix is cached.
-  //
-  // The scan is written branchless over the whole array (keys are unique,
-  // so recording "the" matching index is well defined): an early-exit loop
-  // defeats vectorization, while this form compiles to a handful of wide
-  // compares for the 64-entry caches the nested walker thrashes.
-  bool Lookup(uint64_t prefix) {
-    const size_t n = keys_.size();
-    size_t idx = n;
-    for (size_t i = 0; i < n; ++i) {
-      if (keys_[i] == prefix) {
-        idx = i;
+  bool Lookup(uint64_t prefix) { return LookupSlot(prefix) >= 0; }
+
+  // Lookup returning the slot index of the hit (refreshed), or -1.
+  int32_t LookupSlot(uint64_t prefix) {
+    for (int32_t slot = bucket_head_[Bucket(prefix)]; slot >= 0;
+         slot = chain_next_[slot]) {
+      if (keys_[slot] == prefix) {
+        MoveToFront(static_cast<uint32_t>(slot));
+        return slot;
       }
     }
-    if (idx == n) {
-      return false;
-    }
-    stamps_[idx] = ++clock_;
-    return true;
+    return -1;
   }
 
   void Insert(uint64_t prefix) {
@@ -66,47 +73,82 @@ class PrefixCache {
   }
 
   // Insert for a prefix the caller knows is absent (a Lookup just returned
-  // false and nothing touched this cache since): skips the presence scan.
-  void InsertMissing(uint64_t prefix) {
-    if (keys_.size() < capacity_) {
-      keys_.push_back(prefix);
-      stamps_.push_back(++clock_);
-      return;
-    }
-    // Exact-LRU victim in two vectorizable passes: min-reduce the stamps,
-    // then find the (unique — stamps are a strictly increasing clock)
-    // entry carrying the minimum.
-    const size_t n = stamps_.size();
-    uint64_t min_stamp = stamps_[0];
-    for (size_t i = 1; i < n; ++i) {
-      min_stamp = stamps_[i] < min_stamp ? stamps_[i] : min_stamp;
-    }
-    size_t victim = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (stamps_[i] == min_stamp) {
-        victim = i;
-      }
-    }
-    keys_[victim] = prefix;
-    stamps_[victim] = ++clock_;
-  }
+  // false and nothing touched this cache since): skips the presence probe.
+  // Returns the slot the prefix landed in.
+  uint32_t InsertMissing(uint64_t prefix);
 
-  void Flush() {
-    keys_.clear();
-    stamps_.clear();
-  }
+  // Refreshes a slot's recency without a key probe.  Only valid while the
+  // caller can prove the slot still holds the key it recorded (mutation
+  // counter unchanged since); equivalent to a Lookup hit on that key.
+  void Touch(uint32_t slot) { MoveToFront(slot); }
+
+  // Key currently held by a slot (tests / memo validation).
+  uint64_t KeyAt(uint32_t slot) const { return keys_[slot]; }
+
+  // Bumped by every key-set change (insert, evict, flush); never by LRU
+  // refreshes.  Equal reads bracket an interval of stable contents.
+  uint64_t mutations() const { return mutations_; }
+
+  size_t size() const { return keys_.size(); }
+
+  void Flush();
 
  private:
+  uint32_t Bucket(uint64_t prefix) const {
+    // Fibonacci hashing: multiplicative spread of the (small, often
+    // consecutive) prefix integers over the bucket array.
+    return static_cast<uint32_t>((prefix * 0x9E3779B97F4A7C15ull) >>
+                                 bucket_shift_);
+  }
+  void LinkIntoBucket(uint32_t slot);
+  void UnlinkFromBucket(uint32_t slot);
+
+  // Detaches `slot` from wherever it sits on the recency list and relinks
+  // it at the head (most recent).
+  void MoveToFront(uint32_t slot) {
+    if (lru_head_ == static_cast<int32_t>(slot)) {
+      return;
+    }
+    const int32_t prev = lru_prev_[slot];
+    const int32_t next = lru_next_[slot];
+    lru_next_[prev] = next;  // prev exists: slot is not the head
+    if (next >= 0) {
+      lru_prev_[next] = prev;
+    } else {
+      lru_tail_ = prev;
+    }
+    lru_prev_[slot] = -1;
+    lru_next_[slot] = lru_head_;
+    lru_prev_[lru_head_] = static_cast<int32_t>(slot);
+    lru_head_ = static_cast<int32_t>(slot);
+  }
+  void PushFront(uint32_t slot);
+
   uint32_t capacity_;
-  uint64_t clock_ = 0;
-  std::vector<uint64_t> keys_;    // cached prefixes, unordered
-  std::vector<uint64_t> stamps_;  // stamps_[i]: last touch of keys_[i]
+  uint32_t bucket_shift_;  // 64 - log2(bucket count)
+  uint64_t mutations_ = 0;
+  std::vector<uint64_t> keys_;        // cached prefixes, slab-ordered
+  std::vector<int32_t> bucket_head_;  // bucket -> first slot, -1 = empty
+  std::vector<int32_t> chain_next_;   // slot -> next slot in bucket, -1 = end
+  // Recency list over the occupied slots: head = MRU, tail = LRU victim.
+  std::vector<int32_t> lru_prev_;
+  std::vector<int32_t> lru_next_;
+  int32_t lru_head_ = -1;
+  int32_t lru_tail_ = -1;
 };
 
-// Walk cost in memory references for one layer of page table.
+// Walk cost in memory references for one layer of page table, with the
+// per-level attribution the walk-level breakdown counters consume.
 struct WalkCost {
   uint32_t memory_refs = 0;  // directory/PTE reads that went to memory
   uint32_t cached_refs = 0;  // reads satisfied by the PWC
+  bool l4_cached = false;    // the PML4 read was PWC-served
+  bool l3_cached = false;    // the PDPT read was PWC-served
+  // Slots holding the PML4/PDPT prefixes after the walk (they are always
+  // resident afterwards — a miss inserts).  The nested walker records them
+  // in its walk memo.
+  uint32_t l4_slot = 0;
+  uint32_t l3_slot = 0;
 };
 
 class PageWalkCache {
@@ -126,6 +168,11 @@ class PageWalkCache {
   WalkCost Walk(uint64_t vpn, base::PageSize leaf_size);
 
   void Flush();
+
+  // Per-level caches, exposed for the nested walker's memo (mutation
+  // counters + slot touches) and for tests.
+  PrefixCache& pml4() { return pml4_; }
+  PrefixCache& pdpt() { return pdpt_; }
 
  private:
   // Address prefixes indexing each level: PML4 covers 512 GiB per entry

@@ -1,8 +1,51 @@
 #include "mmu/tlb.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define MMU_TLB_HAVE_AVX2_PROBE 1
+#endif
+
 #include "base/check.h"
 
 namespace mmu {
+
+namespace {
+
+#ifdef MMU_TLB_HAVE_AVX2_PROBE
+// 4-way-at-a-time packed-tag compare.  Probes are the innermost operation
+// of every translation (two per lookup, plus insert/shootdown probes), and
+// the scalar loop spends most of its time on loop overhead for a 12-way
+// scan.  Returns the lowest matching way like the scalar loop would; tags
+// are unique per (set, size, vmid) so at most one lane ever matches.
+__attribute__((target("avx2"))) int64_t ProbeWaysAvx2(const uint64_t* tags,
+                                                      uint32_t ways,
+                                                      uint64_t target) {
+  const __m256i want = _mm256_set1_epi64x(static_cast<long long>(target));
+  uint32_t w = 0;
+  for (; w + 4 <= ways; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(tags + w));
+    const int m = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, want)));
+    if (m != 0) {
+      return w + static_cast<uint32_t>(__builtin_ctz(static_cast<uint32_t>(m)));
+    }
+  }
+  for (; w < ways; ++w) {
+    if (tags[w] == target) {
+      return w;
+    }
+  }
+  return -1;
+}
+
+bool HaveAvx2() {
+  static const bool have = __builtin_cpu_supports("avx2");
+  return have;
+}
+#endif  // MMU_TLB_HAVE_AVX2_PROBE
+
+}  // namespace
 
 Tlb::Tlb(const TlbConfig& config) : config_(config) {
   SIM_CHECK(config_.sets > 0 && (config_.sets & (config_.sets - 1)) == 0);
@@ -78,6 +121,12 @@ int64_t Tlb::FindEntry(uint64_t key, base::PageSize size,
                        uint16_t vmid) const {
   const size_t base_i = static_cast<size_t>(SetIndex(key)) * config_.ways;
   const uint64_t target = PackedTag(key, size, vmid);
+#ifdef MMU_TLB_HAVE_AVX2_PROBE
+  if (HaveAvx2()) {
+    const int64_t w = ProbeWaysAvx2(&tags_[base_i], config_.ways, target);
+    return w >= 0 ? static_cast<int64_t>(base_i) + w : -1;
+  }
+#endif
   for (uint32_t w = 0; w < config_.ways; ++w) {
     if (tags_[base_i + w] == target) {
       return static_cast<int64_t>(base_i + w);
@@ -131,10 +180,10 @@ void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame) {
 
 void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
                  const Stamp& stamp, uint16_t vmid) {
-  ++clock_;
   const uint64_t key =
       size == base::PageSize::kHuge ? (vpn >> base::kHugeOrder) : vpn;
   if (const int64_t i = FindEntry(key, size, vmid); i >= 0) {
+    ++clock_;
     lru_[i] = clock_;
     entries_[i].frame = frame;
     entries_[i].stamp = stamp;
@@ -143,19 +192,33 @@ void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
     }
     return;
   }
+  InsertMiss(vpn, size, frame, stamp, vmid);
+}
+
+void Tlb::InsertMiss(uint64_t vpn, base::PageSize size, uint64_t frame,
+                     const Stamp& stamp, uint16_t vmid) {
+  ++clock_;
+  const uint64_t key =
+      size == base::PageSize::kHuge ? (vpn >> base::kHugeOrder) : vpn;
   VmState& vm = Vm(vmid);
   const size_t base_i = static_cast<size_t>(SetIndex(key)) * config_.ways;
   const uint32_t way_end = vm.way_begin + vm.way_count;
+  // LRU victim scan, branchless on the min update: which way is oldest is
+  // data-dependent and mispredicts as a branch, so keep it as selects.
+  // The free-way break stays a branch — it is rare once the set fills and
+  // predicts well.
   size_t victim = base_i + vm.way_begin;
+  uint64_t victim_lru = ~0ull;
   for (uint32_t w = vm.way_begin; w < way_end; ++w) {
     const size_t i = base_i + w;
     if ((tags_[i] & 1) == 0) {
       victim = i;
       break;
     }
-    if (lru_[i] < lru_[victim]) {
-      victim = i;
-    }
+    const uint64_t l = lru_[i];
+    const bool older = l < victim_lru;
+    victim = older ? i : victim;
+    victim_lru = older ? l : victim_lru;
   }
   if ((tags_[victim] & 1) != 0) {
     // Evicting a valid entry: attribute the eviction to its owner, split

@@ -157,6 +157,16 @@ class Tlb {
               const Stamp& stamp, uint16_t vmid = 0);
   void Insert(uint64_t vpn, base::PageSize size, uint64_t frame);
 
+  // Insert for a translation the caller has just proven absent: either a
+  // Lookup of `vpn` missed (which probes both sizes), or a ShootdownPage
+  // of `vpn` dropped them — and nothing touched the array since.  Skips
+  // Insert's update-in-place probe and goes straight to victim selection;
+  // behavior is otherwise identical to Insert.  The translation engine's
+  // miss path is the intended caller (its contract holds on both the clean
+  // miss and the stale-drop path).
+  void InsertMiss(uint64_t vpn, base::PageSize size, uint64_t frame,
+                  const Stamp& stamp, uint16_t vmid = 0);
+
   // Replaces the stamp of the entry the most recent Lookup hit.  Called
   // after the engine re-derived a generation-mismatched entry and found it
   // still correct (e.g. after an in-place promotion): the entry is valid

@@ -85,6 +85,10 @@ class TlbView {
   void Insert(uint64_t vpn, base::PageSize size, uint64_t frame) {
     physical_->Insert(vpn, size, frame, Tlb::Stamp{}, vmid_);
   }
+  void InsertMiss(uint64_t vpn, base::PageSize size, uint64_t frame,
+                  const Tlb::Stamp& stamp) {
+    physical_->InsertMiss(vpn, size, frame, stamp, vmid_);
+  }
   void RestampHit(const Tlb::Stamp& stamp) { physical_->RestampHit(stamp); }
   void DiscountStaleHit() { physical_->DiscountStaleHit(vmid_); }
   void UncountFaultMiss() { physical_->UncountFaultMiss(vmid_); }

@@ -174,6 +174,11 @@ TranslateResult TranslationEngine::TranslateImpl(uint64_t vpn) {
   if constexpr (kBatched) {
     plan_wanted_ = true;  // this batch has walks: prefetch lookahead helps
   }
+  // The walker's memo line for this region will be probed right after the
+  // table lookups; starting its fill now overlaps it with both of them.
+  // (Prefetching before the TLB probe was measured and lost: it taxes the
+  // hit path, which outnumbers misses everywhere but miss_heavy.)
+  walker_.PrefetchMemo(region);
   if (!guest_fetched) {
     if constexpr (kBatched) {
       guest = BatchedGuestWalk(vpn);
@@ -187,6 +192,13 @@ TranslateResult TranslationEngine::TranslateImpl(uint64_t vpn) {
     tlb_.UncountFaultMiss();  // the retried access will count
     return result;
   }
+  // Start the host-dimension line fills (route word, then frame cell)
+  // before the guest-side bookkeeping: the host lookup is the next
+  // dependent far load, and the access bump is independent work that can
+  // execute under it.
+  if (host_table_ != nullptr) {
+    host_table_->PrefetchPage(guest->frame);
+  }
   guest_table_->BumpAccess(region);
 
   if (host_table_ == nullptr) {
@@ -199,7 +211,7 @@ TranslateResult TranslationEngine::TranslateImpl(uint64_t vpn) {
     Tlb::Stamp stamp;
     stamp.guest_gen = guest_table_->generation(region);
     stamp.well_aligned = huge;
-    tlb_.Insert(vpn, guest->size,
+    tlb_.InsertMiss(vpn, guest->size,
                 huge ? (guest->frame & ~(kPagesPerHuge - 1)) : guest->frame,
                 stamp);
     if constexpr (kBatched) {
@@ -241,13 +253,13 @@ TranslateResult TranslationEngine::TranslateImpl(uint64_t vpn) {
   stamp.host_gen = host_table_->generation(stamp.host_region);
   stamp.well_aligned = aligned;
   if (aligned) {
-    tlb_.Insert(vpn, base::PageSize::kHuge,
+    tlb_.InsertMiss(vpn, base::PageSize::kHuge,
                 host->frame & ~(kPagesPerHuge - 1), stamp);
     if constexpr (kBatched) {
       ArmMemo(region, stamp);
     }
   } else {
-    tlb_.Insert(vpn, base::PageSize::kBase, host->frame, stamp);
+    tlb_.InsertMiss(vpn, base::PageSize::kBase, host->frame, stamp);
   }
   return result;
 }
@@ -424,6 +436,7 @@ void TranslationEngine::ResetCounters() {
   translations_ = 0;
   translation_cycles_ = 0;
   tlb_.ResetCounters();
+  walker_.ResetStats();
   batch_stats_ = BatchStats{};
 }
 

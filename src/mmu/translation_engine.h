@@ -151,6 +151,9 @@ class TranslationEngine {
 
   uint64_t translations() const { return translations_; }
   base::Cycles translation_cycles() const { return translation_cycles_; }
+  // Per-level page-walk accounting since the last ResetCounters (replayed
+  // walks folded in; see NestedWalker::stats).
+  WalkLevelStats walk_stats() const { return walker_.stats(); }
   void ResetCounters();
 
   bool virtualized() const { return host_table_ != nullptr; }

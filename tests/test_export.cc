@@ -37,6 +37,14 @@ workload::RunResult SampleResult() {
   r.counters.tlb_conflict_evictions_huge = 1;
   r.counters.tlb_capacity_evictions_base = 2;
   r.counters.tlb_capacity_evictions_huge = 2;
+  r.counters.walk.guest_mem = {1, 2, 3, 4};
+  r.counters.walk.guest_cached = {5, 6, 0, 0};  // only L4/L3 are PWC-covered
+  r.counters.walk.host_mem = {7, 8, 9, 10};
+  r.counters.walk.host_cached = {11, 12, 0, 0};
+  r.counters.walk.nested_hit = {13, 14, 15, 16};
+  r.counters.walk.nested_walk = {17, 18, 19, 20};
+  r.counters.walk.memo_hits = 21;
+  r.counters.walk.memo_upper_hits = 22;
   r.busy_cycles = 123456;
   return r;
 }
@@ -48,7 +56,8 @@ TEST(Export, CsvHasHeaderAndRow) {
   EXPECT_NE(csv.find("workload,system,throughput"), std::string::npos);
   EXPECT_NE(csv.find("Redis,Gemini,1.5,1000,2000,42,6,0.25,0.875,7,9,11,3,5,"
                      "2,13,832,40,700,1,0,0,0,0,0,12,0,private,4,8,4,4,"
-                     "123456"),
+                     "1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,"
+                     "21,22,123456"),
             std::string::npos);
 }
 
@@ -140,7 +149,7 @@ TEST(Export, CarriesBatchPipelineColumns) {
             std::string::npos);
   EXPECT_NE(csv.find("batch_hist_b7,tlb_mode,cross_vm_evictions,"
                      "vm_invalidated,conflict_evictions,capacity_evictions,"
-                     "busy_cycles,wall_ms,seed\n"),
+                     "walk_guest_mem_l4"),
             std::string::npos);
   const std::string json =
       metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
@@ -149,6 +158,30 @@ TEST(Export, CarriesBatchPipelineColumns) {
   EXPECT_NE(json.find("\"batch_region_groups\": 40"), std::string::npos);
   EXPECT_NE(json.find("\"batch_fastpath_hits\": 700"), std::string::npos);
   EXPECT_NE(json.find("\"batch_hist_b6\": 12"), std::string::npos);
+}
+
+TEST(Export, CarriesWalkLevelColumns) {
+  const auto r = SampleResult();
+  const std::string csv =
+      metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
+  // The walk-level block sits between the TLB-domain columns and the
+  // trailing regression-tracking columns.
+  EXPECT_NE(csv.find("walk_guest_mem_l4,walk_guest_mem_l3,walk_guest_mem_l2,"
+                     "walk_guest_mem_l1,walk_guest_pwc_l4,walk_guest_pwc_l3,"
+                     "walk_host_mem_l4"),
+            std::string::npos);
+  EXPECT_NE(csv.find("walk_nested_walk_l1,walk_memo_hits,"
+                     "walk_memo_upper_hits,busy_cycles,wall_ms,seed\n"),
+            std::string::npos);
+  const std::string json =
+      metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(json.find("\"walk_guest_mem_l4\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"walk_guest_pwc_l3\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"walk_host_mem_l1\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"walk_nested_hit_l2\": 15"), std::string::npos);
+  EXPECT_NE(json.find("\"walk_nested_walk_l1\": 20"), std::string::npos);
+  EXPECT_NE(json.find("\"walk_memo_hits\": 21"), std::string::npos);
+  EXPECT_NE(json.find("\"walk_memo_upper_hits\": 22"), std::string::npos);
 }
 
 TEST(Export, CarriesTlbDomainColumns) {

@@ -171,4 +171,41 @@ TEST(MissBreakdown, GoldenTable) {
             "35%          \n");
 }
 
+metrics::WalkLevelRow SampleWalkRow() {
+  metrics::WalkLevelRow row;
+  row.label = "Canneal";
+  row.walk.guest_mem = {1, 2, 3, 4};
+  row.walk.guest_cached = {5, 6, 0, 0};
+  row.walk.host_mem = {7, 8, 9, 10};
+  row.walk.host_cached = {11, 12, 0, 0};
+  row.walk.nested_hit = {13, 14, 15, 16};
+  row.walk.nested_walk = {17, 18, 19, 20};
+  row.walk.memo_hits = 21;
+  row.walk.memo_upper_hits = 22;
+  return row;
+}
+
+TEST(WalkBreakdown, LevelCyclesFollowTheWalkerCostModel) {
+  const metrics::WalkLevelRow row = SampleWalkRow();
+  // (guest_mem + host_mem) * 50 + (guest_cached + host_cached) * 2.
+  EXPECT_EQ(metrics::WalkLevelCycles(row, 0), (1 + 7) * 50 + (5 + 11) * 2);
+  EXPECT_EQ(metrics::WalkLevelCycles(row, 1), (2 + 8) * 50 + (6 + 12) * 2);
+  EXPECT_EQ(metrics::WalkLevelCycles(row, 2), (3 + 9) * 50);
+  EXPECT_EQ(metrics::WalkLevelCycles(row, 3), (4 + 10) * 50);
+}
+
+TEST(WalkBreakdown, GoldenTable) {
+  const std::vector<metrics::WalkLevelRow> rows = {SampleWalkRow()};
+  EXPECT_EQ(metrics::RenderWalkLevelBreakdown(rows),
+            "\n"
+            "== Walk-level breakdown: where each level's references were served and the miss cycles it charged (DESIGN.md \xC2\xA7" "3e) ==\n"
+            "workload  level    guest mem   guest pwc  host mem  host pwc  nested hit  nested walk  cycles\n"
+            "---------------------------------------------------------------------------------------------\n"
+            "Canneal   L4 PML4  1           5          7         11        13          17           432   \n"
+            "Canneal   L3 PDPT  2           6          8         12        14          18           536   \n"
+            "Canneal   L2 PD    3           0          9         0         15          19           600   \n"
+            "Canneal   L1 PT    4           0          10        0         16          20           700   \n"
+            "Canneal   memo     replays=21                                             upper=22           \n");
+}
+
 }  // namespace

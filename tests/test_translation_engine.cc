@@ -313,4 +313,57 @@ TEST_P(EnginePropertyTest, AgreesWithDirectComposition) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
                          ::testing::Values(101, 202, 303, 404));
 
+// Walk-memo depth invariant: the memo covers all four guest levels, and
+// enabling it must not change a single observable — statuses, frames,
+// charged cycles, TLB counters, or the per-level walk attribution.  Two
+// engines share the same tables (reads and access-counter bumps only) and
+// translate the same stream; one has the memo disabled.
+TEST_F(EngineTest, WalkMemoDepthInvariant) {
+  constexpr uint64_t kRegions = 64;
+  for (uint64_t r = 0; r < kRegions; ++r) {
+    if (r % 2 == 0) {
+      guest_.MapHuge(r, r * kPagesPerHuge);
+      ept_.MapHuge(r, (kRegions + r) * kPagesPerHuge);
+    } else {
+      for (uint64_t s = 0; s < kPagesPerHuge; ++s) {
+        guest_.MapBase((r << kHugeOrder) + s, r * kPagesPerHuge + s);
+        ept_.MapBase(r * kPagesPerHuge + s,
+                     (kRegions + r) * kPagesPerHuge + s);
+      }
+    }
+  }
+  TranslationEngine::Config with = SmallConfig();
+  TranslationEngine::Config without = SmallConfig();
+  without.walker.walk_memo_slots = 0;
+  TranslationEngine memoized(with, &guest_, &ept_);
+  TranslationEngine plain(without, &guest_, &ept_);
+  base::Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t vpn = rng.NextBelow(kRegions << kHugeOrder);
+    const auto a = memoized.Translate(vpn);
+    const auto b = plain.Translate(vpn);
+    ASSERT_EQ(a.status, b.status) << "step " << i;
+    ASSERT_EQ(a.frame, b.frame) << "step " << i;
+    ASSERT_EQ(a.cycles, b.cycles) << "step " << i;
+    ASSERT_EQ(a.tlb_hit, b.tlb_hit) << "step " << i;
+    ASSERT_EQ(a.well_aligned_huge, b.well_aligned_huge) << "step " << i;
+  }
+  EXPECT_EQ(memoized.tlb().hits(), plain.tlb().hits());
+  EXPECT_EQ(memoized.tlb().misses(), plain.tlb().misses());
+  const mmu::WalkLevelStats sa = memoized.walk_stats();
+  const mmu::WalkLevelStats sb = plain.walk_stats();
+  for (size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(sa.guest_mem[l], sb.guest_mem[l]) << "level " << l;
+    EXPECT_EQ(sa.guest_cached[l], sb.guest_cached[l]) << "level " << l;
+    EXPECT_EQ(sa.host_mem[l], sb.host_mem[l]) << "level " << l;
+    EXPECT_EQ(sa.host_cached[l], sb.host_cached[l]) << "level " << l;
+    EXPECT_EQ(sa.nested_hit[l], sb.nested_hit[l]) << "level " << l;
+    EXPECT_EQ(sa.nested_walk[l], sb.nested_walk[l]) << "level " << l;
+  }
+  // The memo engaged for both leaf depths (huge regions replay through the
+  // upper three levels, base regions through all four).
+  EXPECT_GT(sa.memo_hits, 0u);
+  EXPECT_EQ(sb.memo_hits, 0u);
+}
+
 }  // namespace

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "base/types.h"
+#include "mmu/page_table.h"
 
 namespace {
 
@@ -157,6 +160,196 @@ TEST(NestedWalker, FlushRestoresColdCosts) {
   const WalkResult cold =
       walker.NestedWalk(2, PageSize::kBase, 2, PageSize::kBase);
   EXPECT_GT(cold.memory_refs, warm.memory_refs);
+}
+
+// ---------------------------------------------------------------------------
+// PrefixCache differential: the hash-indexed, intrusive-list implementation
+// must make byte-identical decisions to the obvious reference model (linear
+// key scan, least-stamp eviction) on every step of a long mixed workload.
+
+// Reference exact-LRU cache: O(n) scans, recency stamps.
+class ScanLruModel {
+ public:
+  explicit ScanLruModel(uint32_t capacity) : capacity_(capacity) {}
+
+  bool Lookup(uint64_t key) {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == key) {
+        stamps_[i] = ++tick_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void InsertMissing(uint64_t key) {
+    if (keys_.size() < capacity_) {
+      keys_.push_back(key);
+      stamps_.push_back(++tick_);
+      return;
+    }
+    size_t victim = 0;
+    for (size_t i = 1; i < keys_.size(); ++i) {
+      if (stamps_[i] < stamps_[victim]) {
+        victim = i;
+      }
+    }
+    keys_[victim] = key;
+    stamps_[victim] = ++tick_;
+  }
+
+  void Flush() {
+    keys_.clear();
+    stamps_.clear();
+  }
+
+ private:
+  uint32_t capacity_;
+  uint64_t tick_ = 0;
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> stamps_;
+};
+
+TEST(PrefixCache, DifferentialAgainstScanLruModel) {
+  PrefixCache cache(8);
+  ScanLruModel model(8);
+  // Deterministic mixed traffic over a key space ~4x the capacity, with
+  // periodic flushes: every Lookup verdict must agree, so insert decisions
+  // (and therefore evictions) stay in lockstep forever.
+  uint64_t x = 0x243F6A8885A308D3ull;
+  for (int i = 0; i < 20000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const uint64_t key = x >> 59;  // 0..31
+    const bool hit = cache.Lookup(key);
+    ASSERT_EQ(hit, model.Lookup(key)) << "step " << i;
+    if (!hit) {
+      cache.InsertMissing(key);
+      model.InsertMissing(key);
+    }
+    if (i % 4096 == 4095) {
+      cache.Flush();
+      model.Flush();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Walk memo on/off differential: memoization is a simulator-speed knob and
+// must not change a single charged cost or per-level stat.
+
+TEST(NestedWalker, MemoOnOffDifferential) {
+  WalkerConfig with = Config();
+  WalkerConfig without = Config();
+  without.walk_memo_slots = 0;
+  NestedWalker memoized(with);
+  NestedWalker plain(without);
+  uint64_t x = 0x13198A2E03707344ull;
+  for (int i = 0; i < 20000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    // ~64 regions with skewed reuse so memo replays, upper-only replays,
+    // and invalidations (PT-cache churn) all occur.
+    const uint64_t region = (x >> 58) + ((x >> 32) & 1 ? 0 : 512);
+    const uint64_t vpn = (region << base::kHugeOrder) | (x & 511);
+    const PageSize guest_leaf = (region & 1) ? PageSize::kBase
+                                             : PageSize::kHuge;
+    const PageSize host_leaf = (x >> 20) & 1 ? PageSize::kBase
+                                             : PageSize::kHuge;
+    const uint64_t gfn = vpn ^ 0x5000;
+    const WalkResult a = memoized.NestedWalk(vpn, guest_leaf, gfn, host_leaf);
+    const WalkResult b = plain.NestedWalk(vpn, guest_leaf, gfn, host_leaf);
+    ASSERT_EQ(a.memory_refs, b.memory_refs) << "step " << i;
+    ASSERT_EQ(a.cached_refs, b.cached_refs) << "step " << i;
+    ASSERT_EQ(a.cycles, b.cycles) << "step " << i;
+  }
+  // Per-level attribution must agree exactly (stats() folds replays back
+  // into the level arrays); only the replay tallies themselves may differ.
+  const mmu::WalkLevelStats sa = memoized.stats();
+  const mmu::WalkLevelStats sb = plain.stats();
+  for (size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(sa.guest_mem[l], sb.guest_mem[l]) << "level " << l;
+    EXPECT_EQ(sa.guest_cached[l], sb.guest_cached[l]) << "level " << l;
+    EXPECT_EQ(sa.host_mem[l], sb.host_mem[l]) << "level " << l;
+    EXPECT_EQ(sa.host_cached[l], sb.host_cached[l]) << "level " << l;
+    EXPECT_EQ(sa.nested_hit[l], sb.nested_hit[l]) << "level " << l;
+    EXPECT_EQ(sa.nested_walk[l], sb.nested_walk[l]) << "level " << l;
+  }
+  EXPECT_GT(sa.memo_hits, 0u);  // the memo actually engaged
+  EXPECT_EQ(sb.memo_hits, 0u);
+  EXPECT_EQ(sb.memo_upper_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Arena pool: the grow-only node slab behind PageTable's base regions.
+
+TEST(ArenaPool, SlabGrowthIsChunked) {
+  mmu::PageTable table;
+  // One base page in each of 40 regions: 40 live nodes, slabs of 16.
+  for (uint64_t r = 0; r < 40; ++r) {
+    table.MapBase(r << base::kHugeOrder, 1000 + r);
+  }
+  const auto stats = table.arena_stats();
+  EXPECT_EQ(stats.live_nodes, 40u);
+  EXPECT_EQ(stats.chunks, 3u);  // ceil(40 / 16)
+  // The unissued tail of the last slab is not "free": the free list only
+  // holds recycled nodes.
+  EXPECT_EQ(stats.free_nodes, 0u);
+}
+
+TEST(ArenaPool, NodeRecycledAfterUnmap) {
+  mmu::PageTable table;
+  for (uint64_t r = 0; r < 16; ++r) {
+    table.MapBase(r << base::kHugeOrder, 100 + r);
+  }
+  const auto before = table.arena_stats();
+  EXPECT_EQ(before.chunks, 1u);
+  EXPECT_EQ(before.free_nodes, 0u);
+  // Unmapping a region's last base page releases its node to the free
+  // list...
+  table.UnmapBase(3ull << base::kHugeOrder);
+  EXPECT_EQ(table.arena_stats().free_nodes, 1u);
+  // ...and the next base-mapped region reuses it instead of growing a slab.
+  table.MapBase(99ull << base::kHugeOrder, 555);
+  const auto after = table.arena_stats();
+  EXPECT_EQ(after.chunks, before.chunks);
+  EXPECT_EQ(after.free_nodes, 0u);
+  EXPECT_EQ(after.live_nodes, 16u);
+}
+
+TEST(ArenaPool, PromotionReleasesNodeDemotionReacquires) {
+  mmu::PageTable table;
+  for (uint64_t s = 0; s < base::kPagesPerHuge; ++s) {
+    table.MapBase(s, 1024 + s);  // region 0, in-place promotable
+  }
+  EXPECT_EQ(table.arena_stats().live_nodes, 1u);
+  table.PromoteInPlace(0);
+  // Huge leaves live inline in the route word: no node at all.
+  EXPECT_EQ(table.arena_stats().live_nodes, 0u);
+  EXPECT_EQ(table.arena_stats().free_nodes, 1u);
+  table.Demote(0);
+  EXPECT_EQ(table.arena_stats().live_nodes, 1u);
+  EXPECT_EQ(table.arena_stats().free_nodes, 0u);
+  EXPECT_EQ(table.arena_stats().chunks, 1u);
+}
+
+TEST(ArenaPool, GenerationsNeverAliasRecycledNodes) {
+  // Generation stamps live in the per-region vector, never inside arena
+  // nodes, so a region's stamp survives its node being recycled to another
+  // region and can never be confused with the new owner's.
+  mmu::PageTable table;
+  table.MapBase(5ull << base::kHugeOrder, 100);
+  const uint64_t gen_mapped = table.generation(5);
+  table.UnmapBase(5ull << base::kHugeOrder);  // node freed, stamp bumped
+  const uint64_t gen_unmapped = table.generation(5);
+  EXPECT_GT(gen_unmapped, gen_mapped);
+  // Region 7 picks up region 5's recycled node; region 5's stamp must not
+  // move, and region 7's history starts from its own counter.
+  table.MapBase(7ull << base::kHugeOrder, 200);
+  EXPECT_EQ(table.arena_stats().chunks, 1u);
+  EXPECT_EQ(table.generation(5), gen_unmapped);
+  // Re-mapping region 5 bumps monotonically — it can never return to a
+  // stamp a stale TLB entry might still carry.
+  table.MapBase(5ull << base::kHugeOrder, 300);
+  EXPECT_GT(table.generation(5), gen_unmapped);
 }
 
 }  // namespace

@@ -3,17 +3,25 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json
+    tools/bench_diff.py --fail-threshold 15 BASELINE.json CURRENT.json
 
 Scenarios are matched by name; the report shows mops_per_s for both
 sides and the current/baseline ratio.  Scenarios present on only one
 side (e.g. the batched modes, which the committed PR-3 baseline
 predates) are listed separately rather than silently dropped.
 
-This tool is report-only by design: it always exits 0 after a
-successful comparison, because CI runners are too noisy for threshold
-gating (see BENCHMARKS.md).  It exits non-zero only when an input file
-is missing or malformed.
+Without --fail-threshold the tool is report-only: it always exits 0
+after a successful comparison.  With --fail-threshold PCT it becomes a
+gate: any gated scenario (default: miss_heavy; override with --gate,
+repeatable) whose current throughput falls more than PCT percent below
+the baseline fails the run with exit code 1.  The gate covers only the
+scenarios named by --gate because mixed-load scenarios on shared CI
+runners are too noisy for tight thresholds (see BENCHMARKS.md "Reading
+bench_diff.py output"); miss_heavy is walker-bound and stable enough
+to gate at a generous 15%.  Exit code 2 still means an input file was
+missing or malformed.
 """
+import argparse
 import json
 import sys
 
@@ -25,11 +33,27 @@ def load(path):
 
 
 def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("--fail-threshold", type=float, default=None,
+                        metavar="PCT",
+                        help="fail (exit 1) if a gated scenario regresses by "
+                             "more than PCT percent vs the baseline")
+    parser.add_argument("--gate", action="append", default=None,
+                        metavar="SCENARIO",
+                        help="scenario the threshold applies to (repeatable; "
+                             "default: miss_heavy)")
+    args = parser.parse_args(argv[1:])
+    gates = args.gate if args.gate else ["miss_heavy"]
+
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        print(f"bench_diff: bad input: {err}", file=sys.stderr)
         return 2
-    baseline = load(argv[1])
-    current = load(argv[2])
 
     shared = [name for name in baseline if name in current]
     only_base = [name for name in baseline if name not in current]
@@ -39,11 +63,17 @@ def main(argv):
     print()
     print("| scenario | baseline Mops/s | current Mops/s | ratio |")
     print("|---|---:|---:|---:|")
+    failures = []
     for name in shared:
         old = baseline[name]["mops_per_s"]
         new = current[name]["mops_per_s"]
         ratio = new / old if old > 0 else float("inf")
-        print(f"| {name} | {old:.2f} | {new:.2f} | {ratio:.2f}x |")
+        gated = args.fail_threshold is not None and name in gates
+        mark = ""
+        if gated and ratio < 1.0 - args.fail_threshold / 100.0:
+            failures.append((name, old, new, ratio))
+            mark = " **FAIL**"
+        print(f"| {name} | {old:.2f} | {new:.2f} | {ratio:.2f}x{mark} |")
     if only_curr:
         print()
         print("New scenarios (no committed baseline): "
@@ -54,8 +84,25 @@ def main(argv):
         print("Baseline scenarios missing from this run: "
               + ", ".join(f"`{n}`" for n in only_base))
     print()
-    print("_Report-only: ratios on shared CI runners are noisy; this step "
-          "never fails the build._")
+    if args.fail_threshold is None:
+        print("_Report-only: pass --fail-threshold to gate on a regression._")
+        return 0
+    if failures:
+        print(f"_Gate: FAILED — regression beyond {args.fail_threshold:g}% "
+              "on: " + ", ".join(f"`{n}`" for n, *_ in failures) + "._")
+        for name, old, new, ratio in failures:
+            print(f"bench_diff: {name} regressed {100 * (1 - ratio):.1f}% "
+                  f"({old:.2f} -> {new:.2f} Mops/s), threshold "
+                  f"{args.fail_threshold:g}%", file=sys.stderr)
+        return 1
+    missing = [g for g in gates if g not in shared]
+    if missing:
+        # A gate that silently never runs is worse than no gate.
+        print("_Gate: FAILED — gated scenario(s) absent from both files: "
+              + ", ".join(f"`{g}`" for g in missing) + "._")
+        return 1
+    print(f"_Gate: OK — {', '.join(f'`{g}`' for g in gates)} within "
+          f"{args.fail_threshold:g}% of baseline._")
     return 0
 
 
