@@ -86,6 +86,44 @@ inline std::vector<metrics::ResultRow> SweepRows(const SweepResult& sweep) {
   return rows;
 }
 
+// Renders the displaced-by matrix and the utility-curve companion for one
+// sharing mode of a collocated sweep (cells = (pair x system label,
+// captured report)).  Returns the exact text to print/persist; empty when
+// every report is empty — the private arrangement — so the historical
+// private-mode stdout stays byte-identical.
+inline std::string RenderInterferenceSection(
+    const std::string& figure, const char* mode_name,
+    const std::vector<std::pair<std::string,
+                                const metrics::InterferenceReport*>>& cells) {
+  const std::string suffix = std::string(" [tlb=") + mode_name + "]";
+  std::string out = metrics::RenderInterferenceMatrix(
+      figure + ": displaced-by matrix (victim misses charged to evictor)" +
+          suffix,
+      cells);
+  out += metrics::RenderUtilityCurves(
+      figure + ": per-VM utility curves (would-hit fraction with <=w ways)" +
+          suffix,
+      cells);
+  return out;
+}
+
+// Persists the accumulated interference sections of a collocated bench as
+// INTERFERENCE_matrix.txt — in GEMINI_EXPORT when set, else the working
+// directory (CI uploads it as an artifact).  No-op when `text` is empty
+// (private-only runs produce no artifact, matching the historical set).
+inline void WriteInterferenceArtifact(const std::string& text) {
+  if (text.empty()) {
+    return;
+  }
+  const char* dir = std::getenv("GEMINI_EXPORT");
+  const std::string path =
+      (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/"
+                                        : std::string()) +
+      "INTERFERENCE_matrix.txt";
+  metrics::WriteFile(path, text);
+  std::fprintf(stderr, "[interference] wrote %s\n", path.c_str());
+}
+
 // Per-cell trace config for benches that drive cells directly through
 // harness::ParallelMap instead of RunSweep.  Same artifact-naming
 // convention: <label>_cellNN_<cell name>, keyed by cell index so the

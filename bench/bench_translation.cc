@@ -37,7 +37,8 @@
 // directory — an array of one object per scenario:
 //   {scenario, batch, ops, wall_ms, mops_per_s, tlb_hits, tlb_misses,
 //    stale_hits, walk_mem_refs, walk_cached_refs, walk_nested_hits,
-//    walk_memo_hits, walk_memo_upper_hits, checksum}
+//    walk_memo_hits, walk_memo_upper_hits, lat_p50, lat_p90, lat_p99,
+//    checksum}
 // plus WALK_breakdown.txt, the per-level walk table for the scalar
 // scenarios (metrics::RenderWalkLevelBreakdown).  Schema documented in
 // BENCHMARKS.md.
@@ -53,6 +54,7 @@
 
 #include "base/check.h"
 #include "base/rng.h"
+#include "base/stats.h"
 #include "base/types.h"
 #include "metrics/export.h"
 #include "metrics/miss_breakdown.h"
@@ -77,6 +79,11 @@ struct ScenarioResult {
   uint64_t stale_hits = 0;
   uint64_t checksum = 0;  // deterministic digest of translated frames
   mmu::WalkLevelStats walk;  // per-level walk accounting of the run
+  // Translation-latency percentiles in simulated cycles (log2-bucket
+  // nearest-rank; deterministic like the counters above).
+  uint64_t lat_p50 = 0;
+  uint64_t lat_p90 = 0;
+  uint64_t lat_p99 = 0;
 };
 
 // Page-table layout a scenario runs against.
@@ -232,6 +239,10 @@ ScenarioResult RunScenario(const std::string& name, uint64_t regions,
   res.stale_hits = engine.tlb().stale_drops();
   res.checksum = checksum;
   res.walk = engine.walk_stats();
+  const auto& lat = engine.latency_histogram().buckets();
+  res.lat_p50 = base::Log2Histogram::PercentileOfCounts(lat, 0.50);
+  res.lat_p90 = base::Log2Histogram::PercentileOfCounts(lat, 0.90);
+  res.lat_p99 = base::Log2Histogram::PercentileOfCounts(lat, 0.99);
   return res;
 }
 
@@ -260,6 +271,8 @@ std::string ToJson(const std::vector<ScenarioResult>& results) {
         << ", \"walk_nested_hits\": " << Sum(r.walk.nested_hit)
         << ", \"walk_memo_hits\": " << r.walk.memo_hits
         << ", \"walk_memo_upper_hits\": " << r.walk.memo_upper_hits
+        << ", \"lat_p50\": " << r.lat_p50 << ", \"lat_p90\": " << r.lat_p90
+        << ", \"lat_p99\": " << r.lat_p99
         << ", \"checksum\": " << r.checksum << '}'
         << (i + 1 < results.size() ? ",\n" : "\n");
   }
@@ -274,7 +287,10 @@ void CheckEquivalent(const ScenarioResult& scalar,
   SIM_CHECK_MSG(scalar.checksum == batched.checksum &&
                     scalar.tlb_hits == batched.tlb_hits &&
                     scalar.tlb_misses == batched.tlb_misses &&
-                    scalar.stale_hits == batched.stale_hits,
+                    scalar.stale_hits == batched.stale_hits &&
+                    scalar.lat_p50 == batched.lat_p50 &&
+                    scalar.lat_p90 == batched.lat_p90 &&
+                    scalar.lat_p99 == batched.lat_p99,
                 "%s diverged from %s", batched.scenario.c_str(),
                 scalar.scenario.c_str());
 }

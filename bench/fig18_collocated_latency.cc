@@ -75,6 +75,7 @@ int main() {
       std::move(options));
 
   std::vector<metrics::ResultRow> rows;
+  std::string interference_text;
   for (size_t m = 0; m < modes.size(); ++m) {
     const char* mode_name = mmu::TlbShareModeName(modes[m]);
     std::string title =
@@ -123,7 +124,26 @@ int main() {
       table.AddRow(row1);
     }
     table.Print();
+
+    // Shared/partitioned modes append the monitor's interference view; a
+    // private-mode table renders nothing (no monitor, historical stdout).
+    std::vector<std::pair<std::string, const metrics::InterferenceReport*>>
+        interference_cells;
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      for (size_t k = 0; k < systems.size(); ++k) {
+        const Cell& cell = cells[m * per_mode + p * systems.size() + k];
+        interference_cells.emplace_back(
+            std::string(pairs[p].vm0) + "+" + pairs[p].vm1 + " x " +
+                std::string(harness::SystemName(systems[k])),
+            &cell.result.interference);
+      }
+    }
+    const std::string section = bench::RenderInterferenceSection(
+        "Figure 18", mode_name, interference_cells);
+    std::fputs(section.c_str(), stdout);
+    interference_text += section;
   }
+  bench::WriteInterferenceArtifact(interference_text);
   bench::ExportRows("fig18_collocated", rows);
   return 0;
 }

@@ -68,4 +68,38 @@ double LatencyRecorder::Percentile(double q) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+uint64_t Log2Histogram::count() const {
+  uint64_t total = 0;
+  for (const uint64_t c : buckets_) {
+    total += c;
+  }
+  return total;
+}
+
+uint64_t Log2Histogram::PercentileOfCounts(
+    const std::array<uint64_t, kBuckets>& counts, double q) {
+  SIM_CHECK(q >= 0.0 && q <= 1.0);
+  uint64_t total = 0;
+  for (const uint64_t c : counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  // Nearest-rank: the smallest value v such that at least ceil(q * total)
+  // samples are <= v.  Computed over integer ranks, so the selection is
+  // exact; only the reported value is bucket-resolution.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  rank = std::max<uint64_t>(1, std::min(rank, total));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      return BucketUpperBound(b);
+    }
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
 }  // namespace base

@@ -1,10 +1,12 @@
 // Streaming statistics helpers used by the performance model and the
-// experiment harness: a Welford mean/variance accumulator and a
+// experiment harness: a Welford mean/variance accumulator, a
 // reservoir-downsampled latency recorder that reports mean and percentile
-// latencies (the paper reports mean and 99th-percentile tail latency).
+// latencies (the paper reports mean and 99th-percentile tail latency), and
+// a log2-bucketed integer histogram whose counts survive snapshot deltas.
 #ifndef SRC_BASE_STATS_H_
 #define SRC_BASE_STATS_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -57,6 +59,50 @@ class LatencyRecorder {
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
   Rng rng_;
+};
+
+// Histogram of non-negative integer samples in log2 buckets: bucket 0
+// holds {0, 1} and bucket b >= 1 holds [2^b, 2^(b+1)).  Unlike
+// LatencyRecorder it keeps nothing but monotonic bucket counts, so two
+// snapshots of the same histogram subtract cleanly (the driver's
+// measured-phase delta) and percentiles can be extracted from a delta as
+// well as from a live histogram.  Percentile extraction is exact rank
+// selection over the counts — no sampling — reported at log2 value
+// resolution: the selected bucket's upper value bound.  For streams whose
+// buckets each hold one distinct value (e.g. the 1-cycle TLB hit), the
+// reported percentile is the exact sample value.
+class Log2Histogram {
+ public:
+  static constexpr size_t kBuckets = 32;  // values up to 2^32 - 1; higher clamp
+
+  void Add(uint64_t value) { ++buckets_[BucketOf(value)]; }
+
+  uint64_t count() const;
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  // Quantile in [0, 1]; 0 with no samples recorded.
+  uint64_t Percentile(double q) const {
+    return PercentileOfCounts(buckets_, q);
+  }
+
+  static size_t BucketOf(uint64_t value) {
+    if (value < 2) {
+      return 0;
+    }
+    const size_t b = 63 - static_cast<size_t>(__builtin_clzll(value));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  // Largest value bucket `b` covers (the value Percentile reports).
+  static uint64_t BucketUpperBound(size_t b) {
+    return b == 0 ? 1 : (2ull << b) - 1;
+  }
+  // Rank-exact percentile over any kBuckets-shaped count array — the form
+  // export/sampler code uses on snapshot deltas.
+  static uint64_t PercentileOfCounts(
+      const std::array<uint64_t, kBuckets>& counts, double q);
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
 };
 
 }  // namespace base

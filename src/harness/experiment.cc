@@ -171,6 +171,10 @@ CollocatedResult RunCollocated(SystemKind kind,
   CollocatedResult result;
   result.vm0 = d0.Finish();
   result.vm1 = d1.Finish();
+  result.interference = metrics::BuildInterferenceReport(
+      machine->tlb_domain(),
+      {{static_cast<uint16_t>(vm0.id()), "vm0 " + spec0.name},
+       {static_cast<uint16_t>(vm1.id()), "vm1 " + spec1.name}});
   trace::WriteTraceFiles(options.trace, *machine, sampler);
   return result;
 }

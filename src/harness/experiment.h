@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "harness/systems.h"
+#include "metrics/interference_matrix.h"
 #include "mmu/tlb_domain.h"
 #include "trace/session.h"
 #include "workload/catalog.h"
@@ -79,6 +80,10 @@ workload::RunResult RunGeminiAblation(const workload::WorkloadSpec& spec,
 struct CollocatedResult {
   workload::RunResult vm0;
   workload::RunResult vm1;
+  // Who-displaced-whom attribution + per-VM utility curves, captured from
+  // the machine's TlbDomain before teardown.  Empty under kPrivate (no
+  // shared array, so no monitor; see metrics/interference_matrix.h).
+  metrics::InterferenceReport interference;
 };
 CollocatedResult RunCollocated(SystemKind kind,
                                const workload::WorkloadSpec& spec0,

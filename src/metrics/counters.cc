@@ -20,6 +20,17 @@ StackSnapshot StackSnapshot::Delta(const StackSnapshot& earlier) const {
   d.tlb_capacity_evictions_huge =
       tlb_capacity_evictions_huge - earlier.tlb_capacity_evictions_huge;
   d.tlb_flushes = tlb_flushes - earlier.tlb_flushes;
+  d.tlb_displaced_by_self =
+      tlb_displaced_by_self - earlier.tlb_displaced_by_self;
+  d.tlb_displaced_by_other =
+      tlb_displaced_by_other - earlier.tlb_displaced_by_other;
+  for (size_t i = 0; i < util_way_hits.size(); ++i) {
+    d.util_way_hits[i] = util_way_hits[i] - earlier.util_way_hits[i];
+  }
+  d.util_shadow_misses = util_shadow_misses - earlier.util_shadow_misses;
+  for (size_t i = 0; i < lat_hist.size(); ++i) {
+    d.lat_hist[i] = lat_hist[i] - earlier.lat_hist[i];
+  }
   d.translation_cycles = translation_cycles - earlier.translation_cycles;
   d.guest_fault_cycles = guest_fault_cycles - earlier.guest_fault_cycles;
   d.guest_overhead_cycles =
@@ -70,6 +81,22 @@ StackSnapshot Snapshot(osim::Machine& machine, int32_t vm_id) {
   s.tlb_capacity_evictions_base = tlb.capacity_evictions_base();
   s.tlb_capacity_evictions_huge = tlb.capacity_evictions_huge();
   s.tlb_flushes = tlb.flushes();
+  s.tlb_displaced_by_self = tlb.displaced_by_self();
+  s.tlb_displaced_by_other = tlb.displaced_by_other();
+  if (const mmu::TlbUtilityMonitor* mon =
+          machine.tlb_domain().utility_monitor()) {
+    const mmu::TlbUtilityMonitor::VmUtility& u =
+        mon->utility(static_cast<uint16_t>(vm_id));
+    for (size_t d = 0; d < u.way_hits.size(); ++d) {
+      // Fold ways beyond the snapshot array into its last slot.
+      const size_t slot = d < s.util_way_hits.size()
+                              ? d
+                              : s.util_way_hits.size() - 1;
+      s.util_way_hits[slot] += u.way_hits[d];
+    }
+    s.util_shadow_misses = u.shadow_misses;
+  }
+  s.lat_hist = vm.engine().latency_histogram().buckets();
   s.translation_cycles = vm.engine().translation_cycles();
   const osim::KernelStats& g = vm.guest().stats();
   s.guest_fault_cycles = g.fault_cycles;

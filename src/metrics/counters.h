@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdint>
 
+#include "base/stats.h"
 #include "base/types.h"
 #include "mmu/nested_walker.h"
 #include "os/machine.h"
@@ -36,6 +37,22 @@ struct StackSnapshot {
   // Whole-array flushes of the physical TLB this VM translates through
   // (kept separate from tlb_vm_invalidated so private-mode goldens hold).
   uint64_t tlb_flushes = 0;
+  // Utility-monitor attribution of this VM's misses (zero under a private
+  // arrangement, where no monitor is attached): misses proven caused by a
+  // displaced entry, split by whether this VM or another VM inserted the
+  // displacing fill.  self + other <= tlb_misses; the rest is cold or
+  // unattributed (record lost to table aliasing).
+  uint64_t tlb_displaced_by_self = 0;
+  uint64_t tlb_displaced_by_other = 0;
+  // Shadow-tag utility sampler (zero under private): util_way_hits[d] is
+  // the VM's sampled accesses that would hit with d+1 dedicated ways; the
+  // array is sized for the largest supported associativity (physical ways
+  // beyond it are folded into the last slot by Snapshot()).
+  std::array<uint64_t, 16> util_way_hits{};
+  uint64_t util_shadow_misses = 0;
+  // Per-access translation-latency histogram: log2 cycle buckets of every
+  // successful translation (see base::Log2Histogram bucket convention).
+  std::array<uint64_t, base::Log2Histogram::kBuckets> lat_hist{};
   base::Cycles translation_cycles = 0;
   base::Cycles guest_fault_cycles = 0;
   base::Cycles guest_overhead_cycles = 0;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/check.h"
+#include "base/stats.h"
 #include "workload/driver.h"
 
 namespace metrics {
@@ -50,6 +51,32 @@ std::string EscapeCsv(const std::string& s) {
   return out;
 }
 
+uint64_t UtilShadowHits(const StackSnapshot& c) {
+  uint64_t total = 0;
+  for (const uint64_t h : c.util_way_hits) {
+    total += h;
+  }
+  return total;
+}
+
+// Smallest dedicated way count covering 90% of the VM's shadow hits; 0
+// when the VM recorded none (private mode, or a VM that never sampled).
+uint32_t UtilMinWays90(const StackSnapshot& c) {
+  const uint64_t total = UtilShadowHits(c);
+  if (total == 0) {
+    return 0;
+  }
+  const double want = 0.9 * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t d = 0; d < c.util_way_hits.size(); ++d) {
+    cum += c.util_way_hits[d];
+    if (static_cast<double>(cum) >= want) {
+      return static_cast<uint32_t>(d + 1);
+    }
+  }
+  return static_cast<uint32_t>(c.util_way_hits.size());
+}
+
 }  // namespace
 
 std::string ToCsv(const std::vector<ResultRow>& rows) {
@@ -62,6 +89,8 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
          "batch_hist_b4,batch_hist_b5,batch_hist_b6,batch_hist_b7,"
          "tlb_mode,cross_vm_evictions,vm_invalidated,conflict_evictions,"
          "capacity_evictions,"
+         "displaced_by_self,displaced_by_other,util_shadow_hits,"
+         "util_shadow_misses,util_min_ways_90,lat_p50,lat_p90,lat_p99,"
          "walk_guest_mem_l4,walk_guest_mem_l3,walk_guest_mem_l2,"
          "walk_guest_mem_l1,walk_guest_pwc_l4,walk_guest_pwc_l3,"
          "walk_host_mem_l4,walk_host_mem_l3,walk_host_mem_l2,"
@@ -95,7 +124,17 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
             r.counters.tlb_conflict_evictions_huge)
         << ','
         << (r.counters.tlb_capacity_evictions_base +
-            r.counters.tlb_capacity_evictions_huge);
+            r.counters.tlb_capacity_evictions_huge)
+        << ',' << r.counters.tlb_displaced_by_self << ','
+        << r.counters.tlb_displaced_by_other << ','
+        << UtilShadowHits(r.counters) << ','
+        << r.counters.util_shadow_misses << ','
+        << UtilMinWays90(r.counters) << ','
+        << base::Log2Histogram::PercentileOfCounts(r.counters.lat_hist, 0.50)
+        << ','
+        << base::Log2Histogram::PercentileOfCounts(r.counters.lat_hist, 0.90)
+        << ','
+        << base::Log2Histogram::PercentileOfCounts(r.counters.lat_hist, 0.99);
     const mmu::WalkLevelStats& w = r.counters.walk;
     for (const uint64_t v : w.guest_mem) {
       out << ',' << v;
@@ -155,7 +194,18 @@ std::string ToJson(const std::vector<ResultRow>& rows) {
             r.counters.tlb_conflict_evictions_huge)
         << ", \"capacity_evictions\": "
         << (r.counters.tlb_capacity_evictions_base +
-            r.counters.tlb_capacity_evictions_huge);
+            r.counters.tlb_capacity_evictions_huge)
+        << ", \"displaced_by_self\": " << r.counters.tlb_displaced_by_self
+        << ", \"displaced_by_other\": " << r.counters.tlb_displaced_by_other
+        << ", \"util_shadow_hits\": " << UtilShadowHits(r.counters)
+        << ", \"util_shadow_misses\": " << r.counters.util_shadow_misses
+        << ", \"util_min_ways_90\": " << UtilMinWays90(r.counters)
+        << ", \"lat_p50\": "
+        << base::Log2Histogram::PercentileOfCounts(r.counters.lat_hist, 0.50)
+        << ", \"lat_p90\": "
+        << base::Log2Histogram::PercentileOfCounts(r.counters.lat_hist, 0.90)
+        << ", \"lat_p99\": "
+        << base::Log2Histogram::PercentileOfCounts(r.counters.lat_hist, 0.99);
     const mmu::WalkLevelStats& w = r.counters.walk;
     static constexpr const char* kLevel[] = {"l4", "l3", "l2", "l1"};
     for (size_t l = 0; l < 4; ++l) {

@@ -40,6 +40,19 @@
 //   conflict_evictions| int    | valid-entry evictions while free ways
 //                     |        | remained elsewhere in the inserter's window
 //   capacity_evictions| int    | valid-entry evictions with the window full
+//   displaced_by_self | int    | misses the utility monitor proved were
+//                     |        | caused by an entry this VM's own fills
+//                     |        | displaced (0 under private: no monitor)
+//   displaced_by_other| int    | misses proved caused by another VM's fill
+//                     |        | (cross-VM interference, by attribution)
+//   util_shadow_hits  | int    | shadow-tag sampler hits at any stack depth
+//   util_shadow_misses| int    | sampled accesses missing the full-depth
+//                     |        | per-VM LRU stack (would miss at any ways)
+//   util_min_ways_90  | int    | smallest dedicated way count covering 90%
+//                     |        | of the VM's shadow hits; 0 when none
+//   lat_p50           | int    | translation-latency percentiles, cycles:
+//   lat_p90           | int    | nearest-rank over the log2-bucket
+//   lat_p99           | int    | histogram, bucket upper bound reported
 //   walk_guest_mem_l{4,3,2,1}  | int | guest-dimension table reads served
 //                     |        | from memory, per walk level (L4 = PML4 ..
 //                     |        | L1 = PT); see DESIGN.md §3e
@@ -93,7 +106,9 @@ struct ResultRow {
 // bookings_expired,bucket_hits,demotions,batches,batched_accesses,
 // batch_region_groups,batch_fastpath_hits,batch_hist_b0..batch_hist_b7,
 // tlb_mode,cross_vm_evictions,vm_invalidated,conflict_evictions,
-// capacity_evictions,walk_guest_mem_l4..l1,walk_guest_pwc_l4..l3,
+// capacity_evictions,displaced_by_self,displaced_by_other,util_shadow_hits,
+// util_shadow_misses,util_min_ways_90,lat_p50,lat_p90,lat_p99,
+// walk_guest_mem_l4..l1,walk_guest_pwc_l4..l3,
 // walk_host_mem_l4..l1,walk_host_pwc_l4..l3,walk_nested_hit_l4..l1,
 // walk_nested_walk_l4..l1,walk_memo_hits,walk_memo_upper_hits,
 // busy_cycles,wall_ms,seed

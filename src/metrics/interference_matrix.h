@@ -1,0 +1,70 @@
+// Rendering of the TLB utility monitor's results for the collocation
+// figures: the NxN who-displaced-whom matrix and the per-VM marginal
+// utility curves (see mmu/tlb_utility_monitor.h for how both are built).
+//
+// The report is a plain-data copy taken from a live TlbDomain, so the
+// harness can capture it before the Machine (and the monitor inside it)
+// is destroyed, and the bench binaries can render many captured cells
+// side by side afterwards.
+#ifndef SRC_METRICS_INTERFERENCE_MATRIX_H_
+#define SRC_METRICS_INTERFERENCE_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mmu {
+class TlbDomain;
+}  // namespace mmu
+
+namespace metrics {
+
+// One victim VM's row of the interference report.
+struct VmInterferenceRow {
+  std::string label;  // e.g. "vm0 redis"
+  // displaced_by[e]: this VM's misses attributed to evictor VM e's fills
+  // (index = position in InterferenceReport::vms, same order for all rows).
+  std::vector<uint64_t> displaced_by;
+  // Shadow-sampler utility curve: way_hits[d] = sampled accesses that would
+  // hit with d+1 dedicated ways; shadow_misses = sampled full-depth misses.
+  std::vector<uint64_t> way_hits;
+  uint64_t shadow_misses = 0;
+  // The VM's counted physical TLB misses (denominator for attribution).
+  uint64_t tlb_misses = 0;
+};
+
+struct InterferenceReport {
+  std::vector<VmInterferenceRow> vms;
+  bool empty() const { return vms.empty(); }
+};
+
+// Captures a report from the domain's utility monitor for the given
+// (vmid, label) pairs.  Returns an empty report under a private domain
+// (no monitor — interference is structurally impossible there).
+InterferenceReport BuildInterferenceReport(
+    const mmu::TlbDomain& domain,
+    const std::vector<std::pair<uint16_t, std::string>>& vms);
+
+// Renders one displaced-by matrix table per cell: rows are victim VMs,
+// columns the attributed evictors plus the unattributed remainder
+// (tlb_misses - sum(displaced_by), clamped at 0: cold misses and records
+// lost to table aliasing) and the miss total.  `cells` pairs a cell label
+// (e.g. "redis+memcached") with its captured report; empty reports are
+// skipped.  Returns exactly what a TextTable prints, so goldens can pin it.
+std::string RenderInterferenceMatrix(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const InterferenceReport*>>&
+        cells);
+
+// Renders the utility-curve companion: per VM, the sampled-access count,
+// the full-depth shadow miss rate, and the cumulative would-hit fraction
+// at each way count ("w<=k" columns, up to the largest curve present).
+std::string RenderUtilityCurves(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const InterferenceReport*>>&
+        cells);
+
+}  // namespace metrics
+
+#endif  // SRC_METRICS_INTERFERENCE_MATRIX_H_

@@ -145,6 +145,9 @@ Tlb::LookupResult Tlb::Lookup(uint64_t vpn, uint16_t vmid) {
     ++Counters(vmid).hits;
     last_hit_ = i;
     huge_hit_memo_[region & (kHugeMemoSlots - 1)] = static_cast<int32_t>(i);
+    if (__builtin_expect(monitor_ != nullptr, 0)) {
+      monitor_->OnAccess(region, base::PageSize::kHuge, vmid);
+    }
     const Entry& e = entries_[i];
     return LookupResult{true, base::PageSize::kHuge, e.frame, e.stamp};
   }
@@ -152,11 +155,23 @@ Tlb::LookupResult Tlb::Lookup(uint64_t vpn, uint16_t vmid) {
     lru_[i] = clock_;
     ++Counters(vmid).hits;
     last_hit_ = i;
+    if (__builtin_expect(monitor_ != nullptr, 0)) {
+      monitor_->OnAccess(vpn, base::PageSize::kBase, vmid);
+    }
     const Entry& e = entries_[i];
     return LookupResult{true, base::PageSize::kBase, e.frame, e.stamp};
   }
-  ++Counters(vmid).misses;
+  VmTlbCounters& c = Counters(vmid);
+  ++c.misses;
   last_hit_ = -1;
+  if (__builtin_expect(monitor_ != nullptr, 0)) {
+    // Displaced-record probe: was this very translation evicted earlier?
+    const int32_t evictor = monitor_->AttributeMiss(vpn, vmid);
+    if (evictor >= 0) {
+      ++(static_cast<uint16_t>(evictor) == vmid ? c.displaced_by_self
+                                                : c.displaced_by_other);
+    }
+  }
   return LookupResult{};
 }
 
@@ -189,6 +204,9 @@ void Tlb::Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
     entries_[i].stamp = stamp;
     if (size == base::PageSize::kHuge) {
       huge_hit_memo_[key & (kHugeMemoSlots - 1)] = static_cast<int32_t>(i);
+    }
+    if (monitor_ != nullptr) {
+      monitor_->OnInsert(key, size, vmid);
     }
     return;
   }
@@ -241,6 +259,12 @@ void Tlb::InsertMiss(uint64_t vpn, base::PageSize size, uint64_t frame,
       ++(victim_huge ? vc.capacity_evictions_huge
                      : vc.capacity_evictions_base);
     }
+    if (monitor_ != nullptr) {
+      monitor_->OnEviction(vt >> (kVmidBits + 2),
+                           victim_huge ? base::PageSize::kHuge
+                                       : base::PageSize::kBase,
+                           victim_vmid, vmid);
+    }
     DropSlot(victim);
   }
   tags_[victim] = PackedTag(key, size, vmid);
@@ -250,6 +274,9 @@ void Tlb::InsertMiss(uint64_t vpn, base::PageSize size, uint64_t frame,
   entries_[victim].stamp = stamp;
   if (size == base::PageSize::kHuge) {
     huge_hit_memo_[key & (kHugeMemoSlots - 1)] = static_cast<int32_t>(victim);
+  }
+  if (monitor_ != nullptr) {
+    monitor_->OnInsert(key, size, vmid);
   }
 }
 
@@ -290,6 +317,9 @@ void Tlb::Flush() {
   }
   valid_total_ = 0;
   ++flushes_;
+  if (monitor_ != nullptr) {
+    monitor_->OnFlush();
+  }
 }
 
 uint32_t Tlb::InvalidateVm(uint16_t vmid) {
@@ -302,6 +332,9 @@ uint32_t Tlb::InvalidateVm(uint16_t vmid) {
     }
   }
   Counters(vmid).vm_invalidated += dropped;
+  if (monitor_ != nullptr) {
+    monitor_->OnInvalidateVm(vmid);
+  }
   return dropped;
 }
 
@@ -318,6 +351,11 @@ uint32_t Tlb::ShootdownPage(uint64_t vpn, uint16_t vmid) {
     ++dropped;
   }
   Counters(vmid).shootdowns += dropped;
+  if (monitor_ != nullptr) {
+    // Unconditional: stale displaced records / shadow entries for absent
+    // keys must be cleared too.
+    monitor_->OnShootdown(vpn, vmid);
+  }
   return dropped;
 }
 
@@ -341,6 +379,9 @@ uint32_t Tlb::ShootdownRange(uint64_t vpn, uint64_t pages, uint16_t vmid) {
       }
     }
     Counters(vmid).shootdowns += dropped;
+    if (monitor_ != nullptr) {
+      monitor_->OnShootdownRange(vpn, pages, vmid);
+    }
     return dropped;
   }
   uint32_t dropped = 0;

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "base/types.h"
+#include "mmu/tlb_utility_monitor.h"
 
 namespace mmu {
 
@@ -103,6 +104,15 @@ class Tlb {
     uint64_t conflict_evictions_huge = 0;
     uint64_t capacity_evictions_base = 0;
     uint64_t capacity_evictions_huge = 0;
+    // Misses attributed by the attached TlbUtilityMonitor's displaced-
+    // record layer (zero without a monitor, i.e. in private mode): the
+    // missing translation was provably evicted earlier, by this VM's own
+    // insert (self — capacity pressure) or by another VM's (other — the
+    // cross-VM interference the eviction-side cross_vm_evictions counter
+    // sees from the opposite end).  displaced_by_self + displaced_by_other
+    // <= misses; the remainder is cold/unattributed.
+    uint64_t displaced_by_self = 0;
+    uint64_t displaced_by_other = 0;
   };
 
   explicit Tlb(const TlbConfig& config);
@@ -227,6 +237,14 @@ class Tlb {
   // not clobber the other tenants' counters).
   void ResetVmCounters(uint16_t vmid);
 
+  // Attaches (or detaches, with null) a utility/interference monitor.  The
+  // monitor observes hits, fills, evictions, and invalidations, and is
+  // probed on every miss for displaced-record attribution; null (the
+  // default, and always the case in private mode) skips every hook.  The
+  // caller keeps ownership and must outlive the Tlb's use of it.
+  void AttachUtilityMonitor(TlbUtilityMonitor* monitor) { monitor_ = monitor; }
+  const TlbUtilityMonitor* utility_monitor() const { return monitor_; }
+
   const TlbConfig& config() const { return config_; }
 
  private:
@@ -307,6 +325,7 @@ class Tlb {
   int64_t last_hit_ = -1;  // entry the most recent Lookup hit, or -1
   uint64_t clock_ = 0;
   uint64_t flushes_ = 0;
+  TlbUtilityMonitor* monitor_ = nullptr;  // not owned; null in private mode
 };
 
 inline void Tlb::PrefetchSets(uint64_t vpn) const {
@@ -333,6 +352,9 @@ inline bool Tlb::RehitHuge(uint64_t region, LookupResult* out,
   lru_[i] = clock_;
   ++Counters(vmid).hits;
   last_hit_ = i;
+  if (__builtin_expect(monitor_ != nullptr, 0)) {
+    monitor_->OnAccess(region, base::PageSize::kHuge, vmid);
+  }
   const Entry& e = entries_[i];
   *out = LookupResult{true, base::PageSize::kHuge, e.frame, e.stamp};
   return true;

@@ -1,5 +1,7 @@
 #include "mmu/tlb_domain.h"
 
+#include <algorithm>
+
 #include "base/check.h"
 
 namespace mmu {
@@ -42,8 +44,16 @@ TlbView TlbDomain::AddVm(uint16_t vmid) {
   }
   if (shared_ == nullptr) {
     shared_ = std::make_unique<Tlb>(config_.tlb);
+    TlbUtilityMonitor::Config mc;
+    mc.sets = config_.tlb.sets;
+    mc.ways = config_.tlb.ways;
+    // Tiny test geometries can have fewer sets than the default stride.
+    mc.sample_stride = std::min(mc.sample_stride, mc.sets);
+    monitor_ = std::make_unique<TlbUtilityMonitor>(mc);
+    shared_->AttachUtilityMonitor(monitor_.get());
   }
   shared_->RegisterVm(vmid);
+  monitor_->RegisterVm(vmid);
   if (config_.mode == TlbShareMode::kPartitioned) {
     const uint32_t k = PartitionWays();
     const uint32_t begin = static_cast<uint32_t>(vmid) * k;

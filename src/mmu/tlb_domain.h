@@ -130,6 +130,11 @@ class TlbView {
   uint64_t capacity_evictions_huge() const {
     return counters().capacity_evictions_huge;
   }
+  // Misses attributed by the utility monitor to a displaced entry; zero
+  // when no monitor is attached (private mode).  self + other <= misses;
+  // the remainder is cold / unattributed.
+  uint64_t displaced_by_self() const { return counters().displaced_by_self; }
+  uint64_t displaced_by_other() const { return counters().displaced_by_other; }
   uint64_t flushes() const { return physical_->flushes(); }
   uint32_t entry_count() const {
     return exclusive_ ? physical_->entry_count()
@@ -177,6 +182,10 @@ class TlbDomain {
   const TlbDomainConfig& config() const { return config_; }
   // The shared physical array, or null in kPrivate mode.
   const Tlb* shared_tlb() const { return shared_.get(); }
+  // The utility/interference monitor watching the shared array, or null in
+  // kPrivate mode (monitoring is a shared-resource question; private
+  // arrays keep the historical fast path untouched).
+  const TlbUtilityMonitor* utility_monitor() const { return monitor_.get(); }
 
  private:
   uint32_t PartitionWays() const;
@@ -186,6 +195,9 @@ class TlbDomain {
   std::vector<std::unique_ptr<Tlb>> private_tlbs_;
   // kShared / kPartitioned: the one array every view targets.
   std::unique_ptr<Tlb> shared_;
+  // Attached to `shared_`; must outlive it (declared after, destroyed
+  // first is fine — the Tlb never dereferences it during destruction).
+  std::unique_ptr<TlbUtilityMonitor> monitor_;
 };
 
 }  // namespace mmu

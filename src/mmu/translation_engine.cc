@@ -42,7 +42,11 @@ TranslationEngine::TranslationEngine(const Config& config,
 }
 
 TranslateResult TranslationEngine::Translate(uint64_t vpn) {
-  return TranslateImpl<false>(vpn);
+  const TranslateResult result = TranslateImpl<false>(vpn);
+  if (result.status == TranslateStatus::kOk) {
+    latency_hist_.Add(result.cycles);
+  }
+  return result;
 }
 
 template <bool kBatched>
@@ -412,6 +416,9 @@ TranslateResult TranslationEngine::TranslateBatched(uint64_t vpn) {
     }
   }
   ++batch_pos_;
+  if (result.status == TranslateStatus::kOk) {
+    latency_hist_.Add(result.cycles);
+  }
   return result;
 }
 
@@ -438,6 +445,7 @@ void TranslationEngine::ResetCounters() {
   tlb_.ResetCounters();
   walker_.ResetStats();
   batch_stats_ = BatchStats{};
+  latency_hist_ = base::Log2Histogram{};
 }
 
 }  // namespace mmu

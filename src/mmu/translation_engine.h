@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "base/stats.h"
 #include "base/types.h"
 #include "mmu/nested_walker.h"
 #include "mmu/page_table.h"
@@ -151,6 +152,12 @@ class TranslationEngine {
 
   uint64_t translations() const { return translations_; }
   base::Cycles translation_cycles() const { return translation_cycles_; }
+  // Log2-bucketed per-access translation-latency histogram (cycles charged
+  // to each successful translation; faulting attempts excluded).  Feeds the
+  // per-VM lat_p50/p90/p99 export columns.
+  const base::Log2Histogram& latency_histogram() const {
+    return latency_hist_;
+  }
   // Per-level page-walk accounting since the last ResetCounters (replayed
   // walks folded in; see NestedWalker::stats).
   WalkLevelStats walk_stats() const { return walker_.stats(); }
@@ -221,6 +228,7 @@ class TranslationEngine {
   NestedWalker walker_;
   uint64_t translations_ = 0;
   base::Cycles translation_cycles_ = 0;
+  base::Log2Histogram latency_hist_;
 
   std::array<RegionMemo, kMemoSlots> memo_;
   std::span<const uint64_t> plan_window_;

@@ -52,6 +52,15 @@ void StackSampler::Run(base::Cycles now) {
     p.stale_hits = s.tlb_stale_hits;
     p.cross_vm_evictions = s.tlb_cross_vm_evictions;
     p.vm_invalidated = s.tlb_vm_invalidated;
+    p.displaced_by_self = s.tlb_displaced_by_self;
+    p.displaced_by_other = s.tlb_displaced_by_other;
+    for (const uint64_t h : s.util_way_hits) {
+      p.util_shadow_hits += h;
+    }
+    p.util_shadow_misses = s.util_shadow_misses;
+    p.lat_p50 = base::Log2Histogram::PercentileOfCounts(s.lat_hist, 0.50);
+    p.lat_p90 = base::Log2Histogram::PercentileOfCounts(s.lat_hist, 0.90);
+    p.lat_p99 = base::Log2Histogram::PercentileOfCounts(s.lat_hist, 0.99);
     p.batches = s.batches;
     p.batched_accesses = s.batched_accesses;
     p.batch_region_groups = s.batch_region_groups;
@@ -71,7 +80,9 @@ std::string StackSampler::ToCsv() const {
   std::ostringstream out;
   out << "ts_cycles,vm,guest_coverage,host_coverage,guest_fmfi,host_fmfi,"
          "booking_timeout_cycles,bookings_active,bucket_held,tlb_miss_rate,"
-         "stale_hits,cross_vm_evictions,vm_invalidated,batches,"
+         "stale_hits,cross_vm_evictions,vm_invalidated,"
+         "displaced_by_self,displaced_by_other,util_shadow_hits,"
+         "util_shadow_misses,lat_p50,lat_p90,lat_p99,batches,"
          "batched_accesses,batch_region_groups,batch_fastpath_hits";
   for (int b = 0; b < 8; ++b) {
     out << ",batch_hist_b" << b;
@@ -89,6 +100,9 @@ std::string StackSampler::ToCsv() const {
         << p.booking_timeout << ',' << p.bookings_active << ','
         << p.bucket_held << ',' << p.tlb_miss_rate << ',' << p.stale_hits
         << ',' << p.cross_vm_evictions << ',' << p.vm_invalidated
+        << ',' << p.displaced_by_self << ',' << p.displaced_by_other
+        << ',' << p.util_shadow_hits << ',' << p.util_shadow_misses
+        << ',' << p.lat_p50 << ',' << p.lat_p90 << ',' << p.lat_p99
         << ',' << p.batches << ',' << p.batched_accesses << ','
         << p.batch_region_groups << ',' << p.batch_fastpath_hits;
     for (int b = 0; b < 8; ++b) {

@@ -43,6 +43,17 @@ struct SamplePoint {
   // and entries dropped by tagged selective invalidation.
   uint64_t cross_vm_evictions = 0;
   uint64_t vm_invalidated = 0;
+  // Cumulative utility-monitor attribution and shadow-sampler counts (zero
+  // under private: no monitor attached).
+  uint64_t displaced_by_self = 0;
+  uint64_t displaced_by_other = 0;
+  uint64_t util_shadow_hits = 0;
+  uint64_t util_shadow_misses = 0;
+  // Cumulative translation-latency percentiles, cycles (log2-bucket
+  // nearest-rank, bucket upper bound reported).
+  uint64_t lat_p50 = 0;
+  uint64_t lat_p90 = 0;
+  uint64_t lat_p99 = 0;
   // Cumulative batch-pipeline counters (host-side effectiveness only;
   // simulation state is batch-size-invariant).
   uint64_t batches = 0;

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "workload/driver.h"
 
@@ -45,6 +47,18 @@ workload::RunResult SampleResult() {
   r.counters.walk.nested_walk = {17, 18, 19, 20};
   r.counters.walk.memo_hits = 21;
   r.counters.walk.memo_upper_hits = 22;
+  // Utility-monitor attribution + shadow sampler: 15 shadow hits with a
+  // curve that crosses 90% at 2 ways (10 then 5), 5 full-depth misses.
+  r.counters.tlb_displaced_by_self = 5;
+  r.counters.tlb_displaced_by_other = 9;
+  r.counters.util_way_hits[0] = 10;
+  r.counters.util_way_hits[1] = 5;
+  r.counters.util_shadow_misses = 5;
+  // 100 translations: 50 in [2,3], 45 in [32,63], 5 in [128,255] — so
+  // p50 = 3, p90 = 63, p99 = 255 (nearest-rank bucket upper bounds).
+  r.counters.lat_hist[1] = 50;
+  r.counters.lat_hist[5] = 45;
+  r.counters.lat_hist[7] = 5;
   r.busy_cycles = 123456;
   return r;
 }
@@ -56,6 +70,7 @@ TEST(Export, CsvHasHeaderAndRow) {
   EXPECT_NE(csv.find("workload,system,throughput"), std::string::npos);
   EXPECT_NE(csv.find("Redis,Gemini,1.5,1000,2000,42,6,0.25,0.875,7,9,11,3,5,"
                      "2,13,832,40,700,1,0,0,0,0,0,12,0,private,4,8,4,4,"
+                     "5,9,15,5,2,3,63,255,"
                      "1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,"
                      "21,22,123456"),
             std::string::npos);
@@ -149,7 +164,7 @@ TEST(Export, CarriesBatchPipelineColumns) {
             std::string::npos);
   EXPECT_NE(csv.find("batch_hist_b7,tlb_mode,cross_vm_evictions,"
                      "vm_invalidated,conflict_evictions,capacity_evictions,"
-                     "walk_guest_mem_l4"),
+                     "displaced_by_self"),
             std::string::npos);
   const std::string json =
       metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
@@ -198,6 +213,56 @@ TEST(Export, CarriesTlbDomainColumns) {
   // Conflict/capacity export as per-size sums (3+1 and 2+2).
   EXPECT_NE(json.find("\"conflict_evictions\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"capacity_evictions\": 4"), std::string::npos);
+}
+
+TEST(Export, CarriesUtilityAndLatencyColumns) {
+  const auto r = SampleResult();
+  const std::string csv =
+      metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(csv.find("capacity_evictions,displaced_by_self,"
+                     "displaced_by_other,util_shadow_hits,"
+                     "util_shadow_misses,util_min_ways_90,"
+                     "lat_p50,lat_p90,lat_p99,walk_guest_mem_l4"),
+            std::string::npos);
+  const std::string json =
+      metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
+  EXPECT_NE(json.find("\"displaced_by_self\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"displaced_by_other\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"util_shadow_hits\": 15"), std::string::npos);
+  EXPECT_NE(json.find("\"util_shadow_misses\": 5"), std::string::npos);
+  // 10 of 15 hits at depth 0 is 67%; the second way crosses 90%.
+  EXPECT_NE(json.find("\"util_min_ways_90\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_p50\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_p90\": 63"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_p99\": 255"), std::string::npos);
+}
+
+// Schema drift guard: the CSV header and every data row must agree on the
+// column count, and every CSV column name must appear as a JSON key — so a
+// field added to one renderer but not the other fails here instead of
+// producing silently misaligned exports.
+TEST(Export, SchemaHeaderRowAndJsonKeysStayInSync) {
+  const auto r = SampleResult();
+  const std::string csv =
+      metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
+  const size_t header_end = csv.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  const size_t row_end = csv.find('\n', header_end + 1);
+  ASSERT_NE(row_end, std::string::npos);
+  const std::string header = csv.substr(0, header_end);
+  const std::string row =
+      csv.substr(header_end + 1, row_end - header_end - 1);
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+
+  const std::string json =
+      metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
+  std::stringstream names(header);
+  std::string name;
+  while (std::getline(names, name, ',')) {
+    EXPECT_NE(json.find("\"" + name + "\":"), std::string::npos)
+        << "CSV column '" << name << "' missing from the JSON export";
+  }
 }
 
 TEST(Export, JsonCarriesWallTimeAndSeed) {

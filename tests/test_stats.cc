@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 namespace {
@@ -83,6 +84,60 @@ TEST(LatencyRecorder, EmptyPercentileIsZero) {
   base::LatencyRecorder rec;
   EXPECT_EQ(rec.Percentile(0.99), 0.0);
   EXPECT_EQ(rec.Mean(), 0.0);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  // Bucket 0 holds {0, 1}; bucket b >= 1 holds [2^b, 2^(b+1)).
+  EXPECT_EQ(base::Log2Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(base::Log2Histogram::BucketOf(1), 0u);
+  EXPECT_EQ(base::Log2Histogram::BucketOf(2), 1u);
+  EXPECT_EQ(base::Log2Histogram::BucketOf(3), 1u);
+  EXPECT_EQ(base::Log2Histogram::BucketOf(4), 2u);
+  EXPECT_EQ(base::Log2Histogram::BucketOf(7), 2u);
+  EXPECT_EQ(base::Log2Histogram::BucketOf(8), 3u);
+  EXPECT_EQ(base::Log2Histogram::BucketOf(~0ull),
+            base::Log2Histogram::kBuckets - 1);
+  EXPECT_EQ(base::Log2Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(base::Log2Histogram::BucketUpperBound(1), 3u);
+  EXPECT_EQ(base::Log2Histogram::BucketUpperBound(5), 63u);
+}
+
+TEST(Log2Histogram, NearestRankPercentiles) {
+  base::Log2Histogram h;
+  for (int i = 0; i < 50; ++i) h.Add(2);     // bucket 1, upper bound 3
+  for (int i = 0; i < 45; ++i) h.Add(40);    // bucket 5, upper bound 63
+  for (int i = 0; i < 5; ++i) h.Add(200);    // bucket 7, upper bound 255
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.Percentile(0.50), 3u);
+  EXPECT_EQ(h.Percentile(0.90), 63u);
+  EXPECT_EQ(h.Percentile(0.99), 255u);
+  EXPECT_EQ(h.Percentile(1.0), 255u);
+  EXPECT_EQ(h.Percentile(0.0), 3u);  // rank clamps to 1: smallest bucket
+}
+
+TEST(Log2Histogram, EmptyPercentileIsZero) {
+  base::Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+}
+
+TEST(Log2Histogram, PercentileOfCountsWorksOnDeltas) {
+  // The snapshot path subtracts bucket arrays and evaluates percentiles on
+  // the difference; the static helper must agree with the member form.
+  base::Log2Histogram all;
+  base::Log2Histogram early;
+  for (int i = 0; i < 10; ++i) {
+    early.Add(4);
+    all.Add(4);
+  }
+  for (int i = 0; i < 90; ++i) all.Add(100);
+  std::array<uint64_t, base::Log2Histogram::kBuckets> delta{};
+  for (size_t b = 0; b < delta.size(); ++b) {
+    delta[b] = all.buckets()[b] - early.buckets()[b];
+  }
+  // The delta is 90 values in bucket 6 ([64,127]): every percentile is 127.
+  EXPECT_EQ(base::Log2Histogram::PercentileOfCounts(delta, 0.50), 127u);
+  EXPECT_EQ(base::Log2Histogram::PercentileOfCounts(delta, 0.99), 127u);
 }
 
 TEST(LatencyRecorder, RecordAfterPercentileQueryStillCorrect) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <memory>
@@ -321,6 +322,38 @@ TEST(TraceDeterminism, TraceInvariantUnderWorkCycleChunking) {
 
 TEST(TraceDeterminism, RepeatedRunsAreByteIdentical) {
   EXPECT_EQ(TracedRun(1), TracedRun(1));
+}
+
+// Schema drift guard: every series row must carry exactly as many columns
+// as the header names — a SamplePoint field threaded into only one of
+// Run()/ToCsv() misaligns every downstream plot silently.
+TEST(TraceDeterminism, SamplerCsvHeaderMatchesRowColumnCounts) {
+  osim::Machine machine(SmallConfig());
+  auto sampler = std::make_unique<trace::StackSampler>(&machine);
+  trace::StackSampler* raw = sampler.get();
+  machine.AddTask(std::move(sampler), 25000);
+  auto& vm = gemini::InstallGeminiVm(machine, 32768);
+  osim::Vma& vma = vm.guest().aspace().MapAnonymous(4 * kPagesPerHuge);
+  for (uint64_t p = 0; p < vma.pages; ++p) {
+    machine.Access(0, vma.start_page + p, 1000);
+  }
+  ASSERT_FALSE(raw->samples().empty());
+  std::istringstream csv(raw->ToCsv());
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_NE(header.find("displaced_by_self"), std::string::npos);
+  EXPECT_NE(header.find("lat_p99"), std::string::npos);
+  const auto commas = [](const std::string& line) {
+    return std::count(line.begin(), line.end(), ',');
+  };
+  const auto expected = commas(header);
+  std::string row;
+  size_t rows = 0;
+  while (std::getline(csv, row)) {
+    EXPECT_EQ(commas(row), expected) << "row " << rows << ": " << row;
+    ++rows;
+  }
+  EXPECT_GT(rows, 0u);
 }
 
 TEST(Session, SanitizeFileStemNormalizes) {

@@ -6,9 +6,13 @@ Usage:
     tools/bench_diff.py --fail-threshold 15 BASELINE.json CURRENT.json
 
 Scenarios are matched by name; the report shows mops_per_s for both
-sides and the current/baseline ratio.  Scenarios present on only one
-side (e.g. the batched modes, which the committed PR-3 baseline
-predates) are listed separately rather than silently dropped.
+sides and the current/baseline ratio, plus lat_p99 (simulated cycles)
+when either side exports it.  Scenarios present on only one side
+(e.g. the batched modes, which the committed PR-3 baseline predates)
+are listed separately rather than silently dropped, and fields a side
+lacks (older baselines predate lat_p*) render as "-" instead of
+erroring — the schema is allowed to grow without invalidating
+committed baselines.
 
 Without --fail-threshold the tool is report-only: it always exits 0
 after a successful comparison.  With --fail-threshold PCT it becomes a
@@ -29,7 +33,20 @@ import sys
 def load(path):
     with open(path) as f:
         rows = json.load(f)
-    return {row["scenario"]: row for row in rows}
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of scenario rows")
+    out = {}
+    for row in rows:
+        if not isinstance(row, dict) or "scenario" not in row:
+            raise ValueError(f"{path}: row without a 'scenario' field: {row!r}")
+        out[row["scenario"]] = row
+    return out
+
+
+def fmt_lat(row):
+    """lat_p99 cell; '-' for baselines that predate the field."""
+    value = row.get("lat_p99")
+    return "-" if value is None else f"{value}"
 
 
 def main(argv):
@@ -61,24 +78,29 @@ def main(argv):
 
     print("### Translation microbenchmark vs committed baseline")
     print()
-    print("| scenario | baseline Mops/s | current Mops/s | ratio |")
-    print("|---|---:|---:|---:|")
+    print("| scenario | baseline Mops/s | current Mops/s | ratio "
+          "| base p99 cyc | curr p99 cyc |")
+    print("|---|---:|---:|---:|---:|---:|")
     failures = []
     for name in shared:
-        old = baseline[name]["mops_per_s"]
-        new = current[name]["mops_per_s"]
+        # .get(): a side missing a field (old baseline, new schema) reports
+        # as 0/'-' instead of KeyError-ing the whole comparison.
+        old = baseline[name].get("mops_per_s", 0.0)
+        new = current[name].get("mops_per_s", 0.0)
         ratio = new / old if old > 0 else float("inf")
         gated = args.fail_threshold is not None and name in gates
         mark = ""
         if gated and ratio < 1.0 - args.fail_threshold / 100.0:
             failures.append((name, old, new, ratio))
             mark = " **FAIL**"
-        print(f"| {name} | {old:.2f} | {new:.2f} | {ratio:.2f}x{mark} |")
+        print(f"| {name} | {old:.2f} | {new:.2f} | {ratio:.2f}x{mark} "
+              f"| {fmt_lat(baseline[name])} | {fmt_lat(current[name])} |")
     if only_curr:
         print()
         print("New scenarios (no committed baseline): "
-              + ", ".join(f"`{n}` {current[n]['mops_per_s']:.2f} Mops/s"
-                          for n in only_curr))
+              + ", ".join(
+                  f"`{n}` {current[n].get('mops_per_s', 0.0):.2f} Mops/s"
+                  for n in only_curr))
     if only_base:
         print()
         print("Baseline scenarios missing from this run: "
