@@ -1,9 +1,11 @@
 #include "harness/experiment.h"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "base/check.h"
 #include "base/rng.h"
+#include "workload/epoch_executor.h"
 
 namespace harness {
 
@@ -154,27 +156,97 @@ CollocatedResult RunCollocated(SystemKind kind,
     machine->FragmentGuestMemory(vm1.id(), options.fragmentation_target);
   }
 
-  workload::WorkloadDriver d0(machine.get(), vm0.id());
-  workload::WorkloadDriver d1(machine.get(), vm1.id());
-  workload::DriverOptions o0;
-  o0.seed = options.seed + 1000;
-  workload::DriverOptions o1;
-  o1.seed = options.seed + 2000;
-  d0.Begin(spec0, o0);
-  d1.Begin(spec1, o1);
-  // Interleave in small quanta: the two VMs time-share the host.
-  constexpr uint64_t kQuantum = 256;
-  while (!d0.Done() || !d1.Done()) {
-    d0.Step(kQuantum);
-    d1.Step(kQuantum);
-  }
+  // Interleave on the epoch executor: each VM runs its per-epoch quantum
+  // (default 256 ops, the grain the serial harness always used), faults
+  // and daemons settle at the barrier, and the schedule — hence every
+  // figure — is identical at any GEMINI_VM_THREADS.
+  workload::EpochExecutorOptions xopt;
+  workload::EpochExecutor exec(machine.get(), xopt);
+  workload::LaneSpec l0;
+  l0.spec = spec0;
+  l0.options.seed = options.seed + 1000;
+  workload::LaneSpec l1;
+  l1.spec = spec1;
+  l1.options.seed = options.seed + 2000;
+  exec.AddLane(vm0.id(), l0);
+  exec.AddLane(vm1.id(), l1);
+  std::vector<workload::RunResult> rr = exec.Run();
   CollocatedResult result;
-  result.vm0 = d0.Finish();
-  result.vm1 = d1.Finish();
+  result.vm0 = std::move(rr[0]);
+  result.vm1 = std::move(rr[1]);
   result.interference = metrics::BuildInterferenceReport(
       machine->tlb_domain(),
       {{static_cast<uint16_t>(vm0.id()), "vm0 " + spec0.name},
        {static_cast<uint16_t>(vm1.id()), "vm1 " + spec1.name}});
+  trace::WriteTraceFiles(options.trace, *machine, sampler);
+  return result;
+}
+
+CollocatedManyResult RunCollocatedMany(
+    SystemKind kind, const std::vector<workload::WorkloadSpec>& specs,
+    const BedOptions& options, const ScaleOptions& scale) {
+  SIM_CHECK(!specs.empty());
+  osim::MachineConfig config;
+  config.host_frames = options.host_frames;
+  config.seed = options.seed;
+  config.tlb_mode = options.tlb_mode;
+  config.tlb_partition_ways = options.tlb_partition_ways;
+  config.tlb_expected_vms = static_cast<uint32_t>(specs.size());
+  if (scale.daemon_period != 0) {
+    config.daemon_period = scale.daemon_period;
+  }
+  auto machine = std::make_unique<osim::Machine>(config);
+  trace::StackSampler* sampler = trace::SetupTracing(*machine, options.trace);
+
+  std::vector<int32_t> vm_ids;
+  std::vector<std::pair<uint16_t, std::string>> labels;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    osim::VirtualMachine& vm =
+        AddSystemVm(*machine, kind, options.vm_gfn_count);
+    vm_ids.push_back(vm.id());
+    labels.emplace_back(static_cast<uint16_t>(vm.id()),
+                        "vm" + std::to_string(i) + " " + specs[i].name);
+  }
+  if (options.fragmented) {
+    machine->FragmentHostMemory(options.host_fragmentation_target);
+    for (const int32_t id : vm_ids) {
+      machine->FragmentGuestMemory(id, options.fragmentation_target);
+    }
+  }
+  for (const int32_t id : vm_ids) {
+    SimulateGuestBoot(*machine, id, options.boot_noise_fraction,
+                      options.vm_gfn_count, options.seed + id);
+  }
+
+  workload::EpochExecutorOptions xopt;
+  xopt.threads = scale.threads;
+  xopt.quantum = scale.quantum;
+  xopt.load_phases = scale.load_phases;
+  xopt.load_phase_epochs = scale.load_phase_epochs;
+  workload::EpochExecutor exec(machine.get(), xopt);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    workload::LaneSpec lane;
+    lane.spec = specs[i];
+    lane.options.seed = options.seed + 1000 * (i + 1);
+    lane.options.teardown = scale.teardown_on_finish;
+    lane.arrival_epoch =
+        scale.wave_size == 0 ? 0 : (i / scale.wave_size) * scale.wave_epochs;
+    lane.phase_offset = i;
+    exec.AddLane(vm_ids[i], lane);
+  }
+
+  CollocatedManyResult result;
+  const auto wall_begin = std::chrono::steady_clock::now();
+  result.vms = exec.Run();
+  const auto wall_end = std::chrono::steady_clock::now();
+  result.exec_wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_begin)
+          .count();
+  result.epochs = exec.epochs();
+  result.parallel_ops = exec.parallel_ops();
+  result.serial_ops = exec.serial_ops();
+  result.interference =
+      metrics::BuildInterferenceReport(machine->tlb_domain(), labels);
   trace::WriteTraceFiles(options.trace, *machine, sampler);
   return result;
 }

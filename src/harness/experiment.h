@@ -90,6 +90,45 @@ CollocatedResult RunCollocated(SystemKind kind,
                                const workload::WorkloadSpec& spec1,
                                const BedOptions& options);
 
+// Rack-density collocation (fig17_scale): N VMs under one system on one
+// host, executed by the epoch-barriered parallel backend
+// (workload/epoch_executor.h).  Results are deterministic at any thread
+// count; `threads` only changes wall-clock.
+struct ScaleOptions {
+  // Worker threads / ops-per-epoch; 0 resolves from GEMINI_VM_THREADS /
+  // GEMINI_VM_QUANTUM.
+  uint32_t threads = 0;
+  uint64_t quantum = 0;
+  // Boot arrival waves: VM i arrives at epoch (i / wave_size) * wave_epochs.
+  // wave_size 0 = everyone boots at epoch 0.
+  uint64_t wave_size = 0;
+  uint64_t wave_epochs = 32;
+  // Tear each VM's VMAs down when its workload completes (shutdown churn).
+  bool teardown_on_finish = false;
+  // Diurnal load phases (percent of quantum per slot, phase-shifted one
+  // slot per VM).  Empty = constant load.
+  std::vector<uint32_t> load_phases;
+  uint64_t load_phase_epochs = 64;
+  // Daemon period override for the machine (0 = MachineConfig default).
+  uint64_t daemon_period = 0;
+};
+
+struct CollocatedManyResult {
+  std::vector<workload::RunResult> vms;  // one per spec, in order
+  metrics::InterferenceReport interference;
+  uint64_t epochs = 0;
+  double exec_wall_ms = 0.0;  // host wall-clock of the execution loop
+  // Deterministic op split: parallel-phase ops vs serial barrier-phase ops
+  // (faults, driver events).  parallel / (parallel + serial) bounds the
+  // achievable wall-clock speedup on any host (Amdahl).
+  uint64_t parallel_ops = 0;
+  uint64_t serial_ops = 0;
+};
+
+CollocatedManyResult RunCollocatedMany(
+    SystemKind kind, const std::vector<workload::WorkloadSpec>& specs,
+    const BedOptions& options, const ScaleOptions& scale);
+
 // Shrinks a spec's op count (and working set, optionally) for quick runs.
 // Controlled by the GEMINI_FAST environment variable in the bench mains.
 workload::WorkloadSpec ScaleSpec(const workload::WorkloadSpec& spec,

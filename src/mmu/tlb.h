@@ -248,6 +248,11 @@ class Tlb {
   const TlbConfig& config() const { return config_; }
 
  private:
+  // The epoch stage (mmu/tlb_epoch_stage.h) overlays this array with one
+  // VM's staged operations during an epoch-parallel phase and replays them
+  // at the barrier; it needs the probe internals and counter slots.
+  friend class TlbEpochStage;
+
   // Storage is structure-of-arrays: the probe identity (tag, size, valid)
   // of every way is packed into one uint64_t in `tags_`, so a 12-way probe
   // scans 96 contiguous bytes — two cache lines — instead of touching 12

@@ -63,6 +63,18 @@ TlbView TlbDomain::AddVm(uint16_t vmid) {
   return TlbView(shared_.get(), vmid, /*exclusive=*/false);
 }
 
+TlbEpochStage* TlbDomain::EpochStage(uint16_t vmid) {
+  SIM_CHECK(config_.mode != TlbShareMode::kPrivate);
+  SIM_CHECK(shared_ != nullptr);
+  if (stages_.size() <= vmid) {
+    stages_.resize(vmid + 1);
+  }
+  if (stages_[vmid] == nullptr) {
+    stages_[vmid] = std::make_unique<TlbEpochStage>(shared_.get(), vmid);
+  }
+  return stages_[vmid].get();
+}
+
 uint32_t TlbDomain::InvalidateVm(uint16_t vmid) {
   if (config_.mode == TlbShareMode::kPrivate) {
     SIM_CHECK(vmid < private_tlbs_.size() &&

@@ -37,7 +37,9 @@
 #include <memory>
 #include <vector>
 
+#include "base/check.h"
 #include "mmu/tlb.h"
+#include "mmu/tlb_epoch_stage.h"
 
 namespace mmu {
 
@@ -69,38 +71,92 @@ class TlbView {
   TlbView(Tlb* physical, uint16_t vmid, bool exclusive)
       : physical_(physical), vmid_(vmid), exclusive_(exclusive) {}
 
+  // While an epoch-parallel phase is open (os/machine.h BeginEpoch), a
+  // shared/partitioned view routes every operation through a per-VM
+  // TlbEpochStage instead of the physical array, so concurrent lanes
+  // never write shared state; the machine detaches the stage (null) and
+  // commits it at the epoch barrier.  Private views never get a stage.
+  void SetEpochStage(TlbEpochStage* stage) { stage_ = stage; }
+  TlbEpochStage* epoch_stage() const { return stage_; }
+
   // --- forwarded operations (see tlb.h for semantics) ---
   Tlb::LookupResult Lookup(uint64_t vpn) {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      return stage_->Lookup(vpn);
+    }
     return physical_->Lookup(vpn, vmid_);
   }
   bool RehitHuge(uint64_t region, Tlb::LookupResult* out) {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      return stage_->RehitHuge(region, out);
+    }
     return physical_->RehitHuge(region, out, vmid_);
   }
-  bool Probe(uint64_t vpn) const { return physical_->Probe(vpn, vmid_); }
+  bool Probe(uint64_t vpn) const {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      return stage_->Probe(vpn);
+    }
+    return physical_->Probe(vpn, vmid_);
+  }
   void PrefetchSets(uint64_t vpn) const { physical_->PrefetchSets(vpn); }
   void Insert(uint64_t vpn, base::PageSize size, uint64_t frame,
               const Tlb::Stamp& stamp) {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      stage_->Insert(vpn, size, frame, stamp);
+      return;
+    }
     physical_->Insert(vpn, size, frame, stamp, vmid_);
   }
   void Insert(uint64_t vpn, base::PageSize size, uint64_t frame) {
-    physical_->Insert(vpn, size, frame, Tlb::Stamp{}, vmid_);
+    Insert(vpn, size, frame, Tlb::Stamp{});
   }
   void InsertMiss(uint64_t vpn, base::PageSize size, uint64_t frame,
                   const Tlb::Stamp& stamp) {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      // The stage's overlay map needs no probe-skip shortcut.
+      stage_->Insert(vpn, size, frame, stamp);
+      return;
+    }
     physical_->InsertMiss(vpn, size, frame, stamp, vmid_);
   }
-  void RestampHit(const Tlb::Stamp& stamp) { physical_->RestampHit(stamp); }
-  void DiscountStaleHit() { physical_->DiscountStaleHit(vmid_); }
-  void UncountFaultMiss() { physical_->UncountFaultMiss(vmid_); }
+  void RestampHit(const Tlb::Stamp& stamp) {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      stage_->RestampHit(stamp);
+      return;
+    }
+    physical_->RestampHit(stamp);
+  }
+  void DiscountStaleHit() {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      stage_->DiscountStaleHit();
+      return;
+    }
+    physical_->DiscountStaleHit(vmid_);
+  }
+  void UncountFaultMiss() {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      stage_->UncountFaultMiss();
+      return;
+    }
+    physical_->UncountFaultMiss(vmid_);
+  }
   uint32_t ShootdownPage(uint64_t vpn) {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      return stage_->ShootdownPage(vpn);
+    }
     return physical_->ShootdownPage(vpn, vmid_);
   }
+  // Range shootdowns, VM-wide flushes, and counter resets are kernel-path
+  // operations; the epoch-parallel model confines those to the serial
+  // phase, so they must never see an attached stage.
   uint32_t ShootdownRange(uint64_t vpn, uint64_t pages) {
+    SIM_CHECK(stage_ == nullptr);
     return physical_->ShootdownRange(vpn, pages, vmid_);
   }
   // Exclusive view: full flush.  Shared view: tagged selective
   // invalidation of this VM's entries only.
   void Flush() {
+    SIM_CHECK(stage_ == nullptr);
     if (exclusive_) {
       physical_->Flush();
     } else {
@@ -109,11 +165,23 @@ class TlbView {
   }
 
   // --- this VM's counters ---
-  uint64_t hits() const { return counters().hits; }
-  uint64_t misses() const { return counters().misses; }
-  uint64_t shootdowns() const { return counters().shootdowns; }
-  uint64_t stale_hits() const { return counters().stale_drops; }
-  uint64_t stale_drops() const { return counters().stale_drops; }
+  // Mid-epoch reads add the stage's signed deltas so a lane's snapshot
+  // (latency records) reflects its own staged activity; counters only the
+  // barrier replay can move (evictions, displaced-by) stay frozen until
+  // the commit.
+  uint64_t hits() const { return Staged(counters().hits, &TlbEpochStage::Deltas::hits); }
+  uint64_t misses() const {
+    return Staged(counters().misses, &TlbEpochStage::Deltas::misses);
+  }
+  uint64_t shootdowns() const {
+    return Staged(counters().shootdowns, &TlbEpochStage::Deltas::shootdowns);
+  }
+  uint64_t stale_hits() const {
+    return Staged(counters().stale_drops, &TlbEpochStage::Deltas::stale_drops);
+  }
+  uint64_t stale_drops() const {
+    return Staged(counters().stale_drops, &TlbEpochStage::Deltas::stale_drops);
+  }
   uint64_t vm_invalidated() const { return counters().vm_invalidated; }
   uint64_t cross_vm_evictions() const {
     return counters().cross_vm_evictions;
@@ -158,10 +226,19 @@ class TlbView {
   const Tlb::VmTlbCounters& counters() const {
     return physical_->vm_counters(vmid_);
   }
+  uint64_t Staged(uint64_t base,
+                  int64_t TlbEpochStage::Deltas::* field) const {
+    if (__builtin_expect(stage_ != nullptr, 0)) {
+      return static_cast<uint64_t>(static_cast<int64_t>(base) +
+                                   stage_->deltas().*field);
+    }
+    return base;
+  }
 
   Tlb* physical_ = nullptr;
   uint16_t vmid_ = 0;
   bool exclusive_ = true;
+  TlbEpochStage* stage_ = nullptr;
 };
 
 class TlbDomain {
@@ -177,6 +254,11 @@ class TlbDomain {
   // Selectively invalidates every entry of `vmid` (in its private array or
   // the shared one).  Returns the number of entries dropped.
   uint32_t InvalidateVm(uint16_t vmid);
+
+  // The lazily-built per-VM epoch stage for the shared array.  Shared /
+  // partitioned modes only — private views never need staging (each VM
+  // already owns its array), and os::Machine skips the call there.
+  TlbEpochStage* EpochStage(uint16_t vmid);
 
   TlbShareMode mode() const { return config_.mode; }
   const TlbDomainConfig& config() const { return config_; }
@@ -198,6 +280,8 @@ class TlbDomain {
   // Attached to `shared_`; must outlive it (declared after, destroyed
   // first is fine — the Tlb never dereferences it during destruction).
   std::unique_ptr<TlbUtilityMonitor> monitor_;
+  // Per-VM epoch stages for `shared_` (indexed by vmid; sparse allowed).
+  std::vector<std::unique_ptr<TlbEpochStage>> stages_;
 };
 
 }  // namespace mmu

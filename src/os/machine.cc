@@ -26,6 +26,7 @@ Machine::~Machine() = default;
 VirtualMachine& Machine::AddVm(
     uint64_t gfn_count, std::unique_ptr<policy::HugePagePolicy> guest_policy,
     std::unique_ptr<policy::HugePagePolicy> host_policy) {
+  SIM_CHECK(!in_epoch_);
   const int32_t id = static_cast<int32_t>(vms_.size());
   HostVmKernel& slice =
       host_.AddVm(id, gfn_count, std::move(host_policy));
@@ -47,6 +48,7 @@ VirtualMachine& Machine::AddVm(
 
 void Machine::AddTask(std::unique_ptr<PeriodicTask> task,
                       base::Cycles period) {
+  SIM_CHECK(!in_epoch_);
   SIM_CHECK(period > 0);
   tasks_.push_back(ScheduledTask{std::move(task), period, now_ + period});
   next_event_ = std::min(next_event_, tasks_.back().next_run);
@@ -59,6 +61,7 @@ VirtualMachine& Machine::vm(int32_t id) {
 
 VirtualMachine::AccessResult Machine::Access(int32_t vm_id, uint64_t vpn,
                                              base::Cycles work_cycles) {
+  SIM_CHECK(!in_epoch_);
   VirtualMachine::AccessResult result = vm(vm_id).Access(vpn);
   result.cycles += work_cycles;
   AdvanceTime(result.cycles);
@@ -68,6 +71,7 @@ VirtualMachine::AccessResult Machine::Access(int32_t vm_id, uint64_t vpn,
 void Machine::AccessBatch(int32_t vm_id, std::span<const uint64_t> vpns,
                           base::Cycles work_cycles,
                           std::vector<VirtualMachine::AccessResult>* out) {
+  SIM_CHECK(!in_epoch_);
   VirtualMachine& v = vm(vm_id);
   out->resize(vpns.size());
   v.engine().BeginBatch(vpns);
@@ -90,7 +94,66 @@ void Machine::AccessBatch(int32_t vm_id, std::span<const uint64_t> vpns,
 }
 
 void Machine::AdvanceTime(base::Cycles cycles) {
+  SIM_CHECK(!in_epoch_);
   now_ += cycles;
+  RunDueDaemons();
+}
+
+void Machine::BeginEpoch() {
+  SIM_CHECK(!in_epoch_);
+  in_epoch_ = true;
+  epoch_cycles_.assign(vms_.size(), 0);
+  if (config_.tlb_mode != mmu::TlbShareMode::kPrivate) {
+    for (const auto& vm : vms_) {
+      mmu::TlbEpochStage* stage =
+          tlb_domain_.EpochStage(static_cast<uint16_t>(vm->id()));
+      stage->BeginEpoch();
+      vm->engine().tlb().SetEpochStage(stage);
+    }
+  }
+}
+
+size_t Machine::EpochAccessBatch(
+    int32_t vm_id, std::span<const uint64_t> vpns, base::Cycles work_cycles,
+    std::vector<VirtualMachine::AccessResult>* out) {
+  SIM_CHECK(in_epoch_);
+  VirtualMachine& v = vm(vm_id);
+  SIM_CHECK(out->size() >= vpns.size());
+  v.engine().BeginBatch(vpns);
+  base::Cycles lane_cycles = 0;
+  size_t done = 0;
+  for (; done < vpns.size(); ++done) {
+    VirtualMachine::AccessResult result;
+    if (!v.TryAccessBatchedClean(vpns[done], &result)) {
+      break;  // would fault: suspend; the serial phase re-runs this access
+    }
+    result.cycles += work_cycles;
+    lane_cycles += result.cycles;
+    (*out)[done] = result;
+  }
+  // One accumulate per batch, not per access: only this lane's slot is
+  // touched, so no other thread contends on it.
+  epoch_cycles_[vm_id] += lane_cycles;
+  return done;
+}
+
+void Machine::EpochBarrier() {
+  SIM_CHECK(in_epoch_);
+  // Canonical VM-ID-ordered merge of the staged shared-TLB traffic: the
+  // replay order — not the racy thread completion order — defines which
+  // entries evict which, so any GEMINI_VM_THREADS produces the same array.
+  if (config_.tlb_mode != mmu::TlbShareMode::kPrivate) {
+    for (const auto& vm : vms_) {
+      vm->engine().tlb().SetEpochStage(nullptr);
+      tlb_domain_.EpochStage(static_cast<uint16_t>(vm->id()))->Commit();
+    }
+  }
+  base::Cycles total = 0;
+  for (const base::Cycles c : epoch_cycles_) {
+    total += c;
+  }
+  in_epoch_ = false;
+  now_ += total;
   RunDueDaemons();
 }
 
@@ -132,21 +195,25 @@ void Machine::RunDueDaemons() {
 }
 
 double Machine::FragmentHostMemory(double target_fmfi) {
+  SIM_CHECK(!in_epoch_);
   return host_fragmenter_->FragmentToTarget(target_fmfi);
 }
 
 double Machine::FragmentGuestMemory(int32_t vm_id, double target_fmfi) {
+  SIM_CHECK(!in_epoch_);
   SIM_CHECK(vm_id >= 0 && static_cast<size_t>(vm_id) < vms_.size());
   return guest_fragmenters_[vm_id]->FragmentToTarget(target_fmfi);
 }
 
 void Machine::ShootdownGuestRange(int32_t vm_id, uint64_t vpn,
                                   uint64_t pages) {
+  SIM_CHECK(!in_epoch_);
   vm(vm_id).engine().ShootdownRange(vpn, pages);
 }
 
 base::Cycles Machine::EnsureHostBacking(int32_t vm_id, uint64_t gfn,
                                         uint64_t count) {
+  SIM_CHECK(!in_epoch_);
   HostVmKernel& slice = vm(vm_id).host_slice();
   base::Cycles cycles = 0;
   for (uint64_t g = gfn; g < gfn + count; ++g) {
@@ -158,6 +225,7 @@ base::Cycles Machine::EnsureHostBacking(int32_t vm_id, uint64_t gfn,
 }
 
 void Machine::FlushVmTranslations(int32_t vm_id) {
+  SIM_CHECK(!in_epoch_);
   // Private arrays: stale combined entries are detected and dropped by the
   // translation engine's hit validation (modeling a tagged, precisely-
   // invalidated TLB), so a wholesale flush is unnecessary; the

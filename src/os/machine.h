@@ -96,6 +96,31 @@ class Machine final : public MachineHooks {
   // Advances simulated time (e.g. think time) and runs due daemons.
   void AdvanceTime(base::Cycles cycles);
 
+  // --- epoch-parallel execution (DESIGN.md §3g) ---------------------------
+  //
+  // Between BeginEpoch() and EpochBarrier(), each VM's lane may run on its
+  // own worker thread, but only through EpochAccessBatch, and only for
+  // *clean* (fault-free) translations: shared machine state (clock, daemon
+  // scheduler, host kernel, shared TLB array) is frozen for the whole
+  // epoch.  Private-mode VMs touch nothing shared on the clean path;
+  // shared/partitioned VMs route TLB traffic through a per-VM
+  // mmu::TlbEpochStage.  The barrier then (1) commits the stages in
+  // canonical VM-ID order, (2) advances the clock by the sum of all lanes'
+  // epoch cycles and runs due daemons, after which callers drain any
+  // suspended lane remainders serially (faults, driver events).  Every
+  // other mutating entry point checks !in_epoch().
+  void BeginEpoch();
+  // Runs the leading clean prefix of `vpns` for `vm_id`'s lane; returns how
+  // many accesses completed (all of them, or the index of the first access
+  // that would fault — that access is untouched and must be re-run
+  // serially after the barrier).  Thread-safe across *distinct* VMs.
+  // `out` must already have at least vpns.size() elements.
+  size_t EpochAccessBatch(int32_t vm_id, std::span<const uint64_t> vpns,
+                          base::Cycles work_cycles,
+                          std::vector<VirtualMachine::AccessResult>* out);
+  void EpochBarrier();
+  bool in_epoch() const { return in_epoch_; }
+
   // Fragments host physical memory to the target FMFI (paper §6.1).
   double FragmentHostMemory(double target_fmfi);
   // Fragments one VM's guest-physical memory.
@@ -141,6 +166,11 @@ class Machine final : public MachineHooks {
   // work is due.  Maintained by AddTask and RunDueDaemons so the per-access
   // daemon check in AccessBatch is one compare instead of a task scan.
   base::Cycles next_event_ = 0;
+  // Epoch-parallel phase state: while in_epoch_, only EpochAccessBatch may
+  // run, and each lane accumulates its cycles here (indexed by vm id) for
+  // the barrier to fold into the clock.
+  bool in_epoch_ = false;
+  std::vector<base::Cycles> epoch_cycles_;
 };
 
 }  // namespace osim

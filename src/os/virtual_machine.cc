@@ -24,6 +24,19 @@ VirtualMachine::AccessResult VirtualMachine::AccessBatched(uint64_t vpn) {
   return AccessImpl<true>(vpn);
 }
 
+bool VirtualMachine::TryAccessBatchedClean(uint64_t vpn, AccessResult* out) {
+  const mmu::TranslateResult tr = engine_.TranslateBatched(vpn);
+  if (tr.status != mmu::TranslateStatus::kOk) {
+    return false;  // needs a kernel fault handler: serial-phase work
+  }
+  ++accesses_;  // only completed accesses count, as in AccessImpl
+  out->cycles = tr.cycles;
+  out->tlb_hit = tr.tlb_hit;
+  out->well_aligned = tr.well_aligned_huge;
+  out->faults_taken = 0;
+  return true;
+}
+
 template <bool kBatched>
 VirtualMachine::AccessResult VirtualMachine::AccessImpl(uint64_t vpn) {
   ++accesses_;

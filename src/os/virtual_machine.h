@@ -43,6 +43,14 @@ class VirtualMachine {
   // TranslationEngine::BeginBatch.
   AccessResult AccessBatched(uint64_t vpn);
 
+  // Epoch-parallel clean path (Machine::EpochAccessBatch): one batched
+  // translation attempt, no fault handling.  On a clean hit/walk, fills
+  // `out` and returns true.  If the translation would fault, returns false
+  // with the VM untouched *except* the engine's deterministic miss
+  // bookkeeping for the aborted attempt — the access runs again, from
+  // scratch, in the serial phase (DESIGN.md §3g records the double-count).
+  bool TryAccessBatchedClean(uint64_t vpn, AccessResult* out);
+
   uint64_t accesses() const { return accesses_; }
 
  private:

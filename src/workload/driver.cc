@@ -130,6 +130,8 @@ void WorkloadDriver::Begin(const WorkloadSpec& spec,
   churn_rng_ = std::make_unique<base::Rng>(options_.seed ^ 0xdeadbeefull);
   latencies_ = std::make_unique<base::LatencyRecorder>(16384, options_.seed + 1);
   op_ = 0;
+  pending_batch_ = false;
+  pending_next_ = 0;
   warmup_ops_ = static_cast<uint64_t>(options_.warmup_fraction *
                                       static_cast<double>(spec_.ops));
 }
@@ -241,16 +243,27 @@ uint64_t WorkloadDriver::RunOps(uint64_t op_budget) {
   machine_->AccessBatch(vm_id_, batch_vpns_,
                         TouchWorkCycles(spec_, TouchKind::kRequest),
                         &batch_results_);
-  if (measuring_) {
-    for (const osim::VirtualMachine::AccessResult& ar : batch_results_) {
-      access_cycles_ += ar.cycles;
-      request_cycles_ += ar.cycles;
-      if (ar.faults_taken > 0) {
-        ++faulting_accesses_;
-      }
+  AccountResults(0, batch_results_.size());
+  op_ += n;
+  MaybeRecordLatency();
+  return n;
+}
+
+void WorkloadDriver::AccountResults(size_t begin, size_t count) {
+  if (!measuring_) {
+    return;
+  }
+  for (size_t i = begin; i < begin + count; ++i) {
+    const osim::VirtualMachine::AccessResult& ar = batch_results_[i];
+    access_cycles_ += ar.cycles;
+    request_cycles_ += ar.cycles;
+    if (ar.faults_taken > 0) {
+      ++faulting_accesses_;
     }
   }
-  op_ += n;
+}
+
+void WorkloadDriver::MaybeRecordLatency() {
   // EventFreeOps never lets a batch cross a request boundary, so a record
   // is due exactly when the batch ended on one.
   if (measuring_ && spec_.kind == Kind::kLatency &&
@@ -264,7 +277,91 @@ uint64_t WorkloadDriver::RunOps(uint64_t op_budget) {
     request_cycles_ = 0;
     ++requests_;
   }
-  return n;
+}
+
+bool WorkloadDriver::EventPendingAtOp() const {
+  if (!measuring_ && op_ >= warmup_ops_) {
+    return true;  // measurement flip: re-snapshots the stack
+  }
+  if (spec_.alloc == AllocPattern::kGradual &&
+      vma_ids_.size() < spec_.vma_count) {
+    return true;  // growth target moves with op_; faults to populate
+  }
+  if (spec_.gc_sweep_period_ops != 0 && op_ > 0 &&
+      op_ % spec_.gc_sweep_period_ops == 0) {
+    return true;
+  }
+  if (spec_.churn_period_ops != 0 && op_ > 0 &&
+      op_ % spec_.churn_period_ops == 0 && vma_ids_.size() > 1) {
+    return true;
+  }
+  return false;
+}
+
+uint64_t WorkloadDriver::StepEpoch(uint64_t op_budget, bool* suspended) {
+  SIM_CHECK(!pending_batch_);
+  *suspended = false;
+  uint64_t ran = 0;
+  while (ran < op_budget && !Done()) {
+    if (EventPendingAtOp()) {
+      *suspended = true;
+      return ran;
+    }
+    // The same batch the serial path would issue (EventFreeOps guarantees
+    // no event, including a latency record boundary, lands inside it).
+    const uint64_t n = std::min(
+        {op_budget - ran, EventFreeOps(), batch_size_, uint64_t{1} << 20});
+    const uint64_t active_pages = pages_per_vma_ * vma_ids_.size();
+    batch_vpns_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t page_index = stream_->Next(active_pages);
+      const size_t vma_index =
+          std::min<size_t>(page_index / pages_per_vma_, vma_ids_.size() - 1);
+      batch_vpns_.push_back(vma_starts_[vma_index] +
+                            (page_index % pages_per_vma_));
+    }
+    if (batch_results_.size() < batch_vpns_.size()) {
+      batch_results_.resize(batch_vpns_.size());
+    }
+    const size_t k = machine_->EpochAccessBatch(
+        vm_id_, batch_vpns_, TouchWorkCycles(spec_, TouchKind::kRequest),
+        &batch_results_);
+    AccountResults(0, k);
+    op_ += k;
+    ran += k;
+    if (k < n) {
+      // batch_vpns_[k] would fault: park the rest for the serial phase.
+      pending_batch_ = true;
+      pending_next_ = k;
+      *suspended = true;
+      return ran;
+    }
+    MaybeRecordLatency();
+  }
+  return ran;
+}
+
+uint64_t WorkloadDriver::ResumeSerial(uint64_t op_budget) {
+  uint64_t ran = 0;
+  if (pending_batch_) {
+    const size_t rest = batch_vpns_.size() - pending_next_;
+    const std::span<const uint64_t> vpns(batch_vpns_.data() + pending_next_,
+                                         rest);
+    // AccessBatch refills batch_results_ from index 0; the completed prefix
+    // was already accounted in StepEpoch.
+    machine_->AccessBatch(vm_id_, vpns,
+                          TouchWorkCycles(spec_, TouchKind::kRequest),
+                          &batch_results_);
+    AccountResults(0, rest);
+    op_ += rest;
+    ran += rest;
+    pending_batch_ = false;
+    MaybeRecordLatency();
+  }
+  if (ran < op_budget) {
+    ran += Step(op_budget - ran);
+  }
+  return ran;
 }
 
 RunResult WorkloadDriver::Finish() {

@@ -91,6 +91,21 @@ class WorkloadDriver {
   bool Done() const;
   RunResult Finish();
 
+  // --- epoch-parallel stepping (workload/epoch_executor.h) ----------------
+  //
+  // StepEpoch is the worker-thread half of Step: it runs request accesses
+  // through Machine::EpochAccessBatch (clean translations only, machine
+  // state frozen) and *suspends* — sets `*suspended` and returns early —
+  // the moment the lane needs the serial phase: a per-op driver event is
+  // due (measurement flip, gradual growth, GC sweep, churn) or an access
+  // in the current batch would fault.  ResumeSerial then finishes the
+  // interrupted batch and continues with plain Step, on the barrier
+  // thread, in canonical lane order.  A lane that never suspends ran
+  // entirely in parallel; the op stream, accounting, and latency records
+  // are identical either way, so GEMINI_VM_THREADS is unobservable.
+  uint64_t StepEpoch(uint64_t op_budget, bool* suspended);
+  uint64_t ResumeSerial(uint64_t op_budget);
+
   // Unmaps every VMA created by the current/last run (workload exit).
   void TearDownAll();
 
@@ -102,6 +117,13 @@ class WorkloadDriver {
   // Number of operations starting at op_ before the next per-op event
   // (warmup flip, growth step, GC sweep, churn, latency record boundary).
   uint64_t EventFreeOps() const;
+  // Whether a per-op driver event fires *at* op_ (the serial phase must run
+  // it before any more request accesses).
+  bool EventPendingAtOp() const;
+  // Measured-phase accounting for batch_results_[begin, begin + count).
+  void AccountResults(size_t begin, size_t count);
+  // Records a latency sample if op_ just landed on a request boundary.
+  void MaybeRecordLatency();
   void InitVma(uint64_t start_page, uint64_t pages);
   // Issues pages [start, start + count) as batches of batch_size_.
   void TouchRange(uint64_t start_page, uint64_t count, TouchKind kind,
@@ -132,6 +154,12 @@ class WorkloadDriver {
   // Scratch buffers reused across batches.
   std::vector<uint64_t> batch_vpns_;
   std::vector<osim::VirtualMachine::AccessResult> batch_results_;
+  // A StepEpoch batch that hit a faulting access: vpns stay in
+  // batch_vpns_ (the AccessStream cannot rewind), the first pending_next_
+  // of them already completed and were accounted; ResumeSerial runs the
+  // rest through the serial fault-handling path.
+  bool pending_batch_ = false;
+  size_t pending_next_ = 0;
 };
 
 }  // namespace workload
