@@ -20,8 +20,10 @@
 //                   lifecycle churn — boot arrival waves, VMA
 //                   churn/GC-sweep workload flavors, diurnal load phase
 //                   shifts, teardown on completion — for each TLB sharing
-//                   mode in GEMINI_TLB_MODE.  Partitioned mode is capped
-//                   at N=8 (12 ways, >=1 way per VM).  Shared-mode cells
+//                   mode in GEMINI_TLB_MODE.  Partitioned and dynamic
+//                   modes are capped at N=8 (12 ways, >=1 way per VM;
+//                   dynamic's repartitioner inherits the same floor).
+//                   Shared-mode cells
 //                   exercise the interference-attribution matrix at NxN;
 //                   the rendered matrices are written to
 //                   INTERFERENCE_scale.txt.
@@ -333,14 +335,16 @@ int main() {
       speedup, 100.0 * frac, amdahl);
 
   // Part 2: rack-density sweep.  Modes from GEMINI_TLB_MODE; partitioned
-  // needs >=1 of the 12 ways per VM, so it stops at N=8.
+  // and dynamic need >=1 of the 12 ways per VM, so they stop at N=8.
   const std::vector<uint64_t> counts =
       fast ? std::vector<uint64_t>{2, 8, 64}
            : std::vector<uint64_t>{2, 4, 8, 16, 32, 64};
   std::string interference_text;
   for (const mmu::TlbShareMode mode : harness::TlbModesFromEnv()) {
     for (const uint64_t n : counts) {
-      if (mode == mmu::TlbShareMode::kPartitioned && n > 8) {
+      if ((mode == mmu::TlbShareMode::kPartitioned ||
+           mode == mmu::TlbShareMode::kDynamic) &&
+          n > 8) {
         continue;
       }
       rows.push_back(RunScaleCell(mode, n, fast, &interference_text));

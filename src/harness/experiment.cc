@@ -54,6 +54,21 @@ void SimulateGuestBoot(osim::Machine& machine, int32_t vm_id,
   }
 }
 
+// Resolves the bed's TLB arrangement (mode, boot split, repartitioner
+// knobs) into the machine config.  Explicit BedOptions values win over the
+// GEMINI_REPART_* environment knobs; both default to the machine's own
+// fallbacks (daemon-period interval, 1-way floor).
+void ApplyTlbOptions(const BedOptions& options, osim::MachineConfig* config) {
+  config->tlb_mode = options.tlb_mode;
+  config->tlb_partition_ways = options.tlb_partition_ways;
+  config->tlb_repart_interval = options.tlb_repart_interval != 0
+                                    ? options.tlb_repart_interval
+                                    : RepartIntervalFromEnv(0);
+  config->tlb_repart_min_ways = options.tlb_repart_min_ways != 0
+                                    ? options.tlb_repart_min_ways
+                                    : RepartMinWaysFromEnv(1);
+}
+
 }  // namespace
 
 TestBed MakeTestBed(SystemKind kind, const BedOptions& options,
@@ -62,8 +77,7 @@ TestBed MakeTestBed(SystemKind kind, const BedOptions& options,
   osim::MachineConfig config;
   config.host_frames = options.host_frames;
   config.seed = options.seed;
-  config.tlb_mode = options.tlb_mode;
-  config.tlb_partition_ways = options.tlb_partition_ways;
+  ApplyTlbOptions(options, &config);
   bed.machine = std::make_unique<osim::Machine>(config);
   bed.sampler = trace::SetupTracing(*bed.machine, options.trace);
   osim::VirtualMachine& vm =
@@ -142,8 +156,7 @@ CollocatedResult RunCollocated(SystemKind kind,
   osim::MachineConfig config;
   config.host_frames = options.host_frames;
   config.seed = options.seed;
-  config.tlb_mode = options.tlb_mode;
-  config.tlb_partition_ways = options.tlb_partition_ways;
+  ApplyTlbOptions(options, &config);
   auto machine = std::make_unique<osim::Machine>(config);
   trace::StackSampler* sampler = trace::SetupTracing(*machine, options.trace);
   osim::VirtualMachine& vm0 =
@@ -189,8 +202,7 @@ CollocatedManyResult RunCollocatedMany(
   osim::MachineConfig config;
   config.host_frames = options.host_frames;
   config.seed = options.seed;
-  config.tlb_mode = options.tlb_mode;
-  config.tlb_partition_ways = options.tlb_partition_ways;
+  ApplyTlbOptions(options, &config);
   config.tlb_expected_vms = static_cast<uint32_t>(specs.size());
   if (scale.daemon_period != 0) {
     config.daemon_period = scale.daemon_period;
@@ -276,10 +288,30 @@ bool ParseTlbShareMode(const std::string& name, mmu::TlbShareMode* mode) {
     *mode = mmu::TlbShareMode::kShared;
   } else if (name == "partitioned") {
     *mode = mmu::TlbShareMode::kPartitioned;
+  } else if (name == "dynamic") {
+    *mode = mmu::TlbShareMode::kDynamic;
   } else {
     return false;
   }
   return true;
+}
+
+uint64_t RepartIntervalFromEnv(uint64_t fallback) {
+  const char* env = std::getenv("GEMINI_REPART_INTERVAL");
+  if (env == nullptr || env[0] == '\0') {
+    return fallback;
+  }
+  return std::strtoull(env, nullptr, 10);
+}
+
+uint32_t RepartMinWaysFromEnv(uint32_t fallback) {
+  const char* env = std::getenv("GEMINI_REPART_MIN_WAYS");
+  if (env == nullptr || env[0] == '\0') {
+    return fallback;
+  }
+  const uint64_t v = std::strtoull(env, nullptr, 10);
+  SIM_CHECK_MSG(v >= 1, "GEMINI_REPART_MIN_WAYS must be >= 1");
+  return static_cast<uint32_t>(v);
 }
 
 std::vector<mmu::TlbShareMode> TlbModesFromEnv() {
@@ -290,7 +322,7 @@ std::vector<mmu::TlbShareMode> TlbModesFromEnv() {
   const std::string spec(env);
   if (spec == "all") {
     return {mmu::TlbShareMode::kPrivate, mmu::TlbShareMode::kShared,
-            mmu::TlbShareMode::kPartitioned};
+            mmu::TlbShareMode::kPartitioned, mmu::TlbShareMode::kDynamic};
   }
   std::vector<mmu::TlbShareMode> modes;
   size_t start = 0;

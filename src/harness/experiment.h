@@ -38,10 +38,18 @@ struct BedOptions {
   trace::TraceConfig trace;
   // TLB sharing arrangement for the machine's VMs (mmu/tlb_domain.h).
   // kPrivate reproduces the historical per-engine TLB exactly; kShared /
-  // kPartitioned make collocated VMs contend for one physical array.
+  // kPartitioned make collocated VMs contend for one physical array;
+  // kDynamic adds the periodic way repartitioner on top of kPartitioned's
+  // boot-time split.
   mmu::TlbShareMode tlb_mode = mmu::TlbShareMode::kPrivate;
-  // kPartitioned: ways per VM (0 = even split over the two collocated VMs).
+  // kPartitioned / kDynamic: boot ways per VM (0 = even split over the
+  // collocated VMs).
   uint32_t tlb_partition_ways = 0;
+  // kDynamic repartitioner knobs; 0 resolves from GEMINI_REPART_INTERVAL /
+  // GEMINI_REPART_MIN_WAYS, falling back to the machine defaults (daemon
+  // period / 1 way).
+  uint64_t tlb_repart_interval = 0;
+  uint32_t tlb_repart_min_ways = 0;
 };
 
 // A single-VM testbed under one system.
@@ -137,16 +145,22 @@ workload::WorkloadSpec ScaleSpec(const workload::WorkloadSpec& spec,
 // True if the GEMINI_FAST env var requests abbreviated benchmark runs.
 bool FastMode();
 
-// Parses a TLB sharing-mode name ("private" / "shared" / "partitioned").
-// Returns false (and leaves *mode untouched) on anything else.
+// Parses a TLB sharing-mode name ("private" / "shared" / "partitioned" /
+// "dynamic").  Returns false (and leaves *mode untouched) on anything else.
 bool ParseTlbShareMode(const std::string& name, mmu::TlbShareMode* mode);
 
 // The sharing modes a collocated bench should sweep, from GEMINI_TLB_MODE:
-// a mode name, a comma-separated list, or "all" for all three.  Unset or
+// a mode name, a comma-separated list, or "all" for all four.  Unset or
 // empty means {kPrivate} — the historical single-mode output.  Aborts on
 // an unrecognized name (silently measuring the wrong mode would poison
 // comparisons).
 std::vector<mmu::TlbShareMode> TlbModesFromEnv();
+
+// kDynamic repartitioner knobs from the environment: GEMINI_REPART_INTERVAL
+// (cycles between repartition ticks; 0 = the machine's daemon period) and
+// GEMINI_REPART_MIN_WAYS (per-VM way floor).  Unset returns the fallback.
+uint64_t RepartIntervalFromEnv(uint64_t fallback = 0);
+uint32_t RepartMinWaysFromEnv(uint32_t fallback = 1);
 
 }  // namespace harness
 

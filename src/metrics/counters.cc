@@ -28,6 +28,12 @@ StackSnapshot StackSnapshot::Delta(const StackSnapshot& earlier) const {
     d.util_way_hits[i] = util_way_hits[i] - earlier.util_way_hits[i];
   }
   d.util_shadow_misses = util_shadow_misses - earlier.util_shadow_misses;
+  // A level, not a counter: the delta reports the allocation in force at
+  // the later snapshot (differencing window sizes would be meaningless).
+  d.tlb_ways_assigned = tlb_ways_assigned;
+  d.tlb_repartitions = tlb_repartitions - earlier.tlb_repartitions;
+  d.tlb_repartition_evictions =
+      tlb_repartition_evictions - earlier.tlb_repartition_evictions;
   for (size_t i = 0; i < lat_hist.size(); ++i) {
     d.lat_hist[i] = lat_hist[i] - earlier.lat_hist[i];
   }
@@ -96,6 +102,9 @@ StackSnapshot Snapshot(osim::Machine& machine, int32_t vm_id) {
     }
     s.util_shadow_misses = u.shadow_misses;
   }
+  s.tlb_ways_assigned = tlb.ways_assigned();
+  s.tlb_repartitions = machine.tlb_domain().repartition_count();
+  s.tlb_repartition_evictions = tlb.repartition_evictions();
   s.lat_hist = vm.engine().latency_histogram().buckets();
   s.translation_cycles = vm.engine().translation_cycles();
   const osim::KernelStats& g = vm.guest().stats();

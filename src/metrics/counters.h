@@ -50,6 +50,17 @@ struct StackSnapshot {
   // beyond it are folded into the last slot by Snapshot()).
   std::array<uint64_t, 16> util_way_hits{};
   uint64_t util_shadow_misses = 0;
+  // Dynamic way repartitioning (GEMINI_TLB_MODE=dynamic; zero elsewhere).
+  // ways_assigned is a *level*, not a counter: the VM's current way-window
+  // size (the full associativity under private mode).  Delta() carries the
+  // later snapshot's value through unchanged, so a phase delta reports the
+  // allocation in force when the phase ended.
+  uint64_t tlb_ways_assigned = 0;
+  // Domain-wide applied repartition count (same value in every VM's
+  // snapshot — the repartitioner moves all windows in one tick).
+  uint64_t tlb_repartitions = 0;
+  // This VM's entries dropped by window moves.
+  uint64_t tlb_repartition_evictions = 0;
   // Per-access translation-latency histogram: log2 cycle buckets of every
   // successful translation (see base::Log2Histogram bucket convention).
   std::array<uint64_t, base::Log2Histogram::kBuckets> lat_hist{};

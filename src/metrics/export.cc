@@ -90,7 +90,8 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
          "tlb_mode,cross_vm_evictions,vm_invalidated,conflict_evictions,"
          "capacity_evictions,"
          "displaced_by_self,displaced_by_other,util_shadow_hits,"
-         "util_shadow_misses,util_min_ways_90,lat_p50,lat_p90,lat_p99,"
+         "util_shadow_misses,util_min_ways_90,ways_assigned,repartitions,"
+         "repartition_evictions,lat_p50,lat_p90,lat_p99,"
          "walk_guest_mem_l4,walk_guest_mem_l3,walk_guest_mem_l2,"
          "walk_guest_mem_l1,walk_guest_pwc_l4,walk_guest_pwc_l3,"
          "walk_host_mem_l4,walk_host_mem_l3,walk_host_mem_l2,"
@@ -130,6 +131,9 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
         << UtilShadowHits(r.counters) << ','
         << r.counters.util_shadow_misses << ','
         << UtilMinWays90(r.counters) << ','
+        << r.counters.tlb_ways_assigned << ','
+        << r.counters.tlb_repartitions << ','
+        << r.counters.tlb_repartition_evictions << ','
         << base::Log2Histogram::PercentileOfCounts(r.counters.lat_hist, 0.50)
         << ','
         << base::Log2Histogram::PercentileOfCounts(r.counters.lat_hist, 0.90)
@@ -200,6 +204,10 @@ std::string ToJson(const std::vector<ResultRow>& rows) {
         << ", \"util_shadow_hits\": " << UtilShadowHits(r.counters)
         << ", \"util_shadow_misses\": " << r.counters.util_shadow_misses
         << ", \"util_min_ways_90\": " << UtilMinWays90(r.counters)
+        << ", \"ways_assigned\": " << r.counters.tlb_ways_assigned
+        << ", \"repartitions\": " << r.counters.tlb_repartitions
+        << ", \"repartition_evictions\": "
+        << r.counters.tlb_repartition_evictions
         << ", \"lat_p50\": "
         << base::Log2Histogram::PercentileOfCounts(r.counters.lat_hist, 0.50)
         << ", \"lat_p90\": "

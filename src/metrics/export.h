@@ -50,6 +50,18 @@
 //                     |        | per-VM LRU stack (would miss at any ways)
 //   util_min_ways_90  | int    | smallest dedicated way count covering 90%
 //                     |        | of the VM's shadow hits; 0 when none
+//   ways_assigned     | int    | ways the VM could fill when the phase
+//                     |        | ended (its way window's size; the full
+//                     |        | associativity under private mode).  A
+//                     |        | level, not a count — under dynamic mode it
+//                     |        | moves with every repartition
+//   repartitions      | int    | applied dynamic repartitions over the
+//                     |        | phase, domain-wide — but deltaed over
+//                     |        | each VM's own measured window, so
+//                     |        | collocated rows can differ (0 outside
+//                     |        | dynamic mode)
+//   repartition_evictions | int| this VM's entries dropped because a
+//                     |        | repartition moved its way window
 //   lat_p50           | int    | translation-latency percentiles, cycles:
 //   lat_p90           | int    | nearest-rank over the log2-bucket
 //   lat_p99           | int    | histogram, bucket upper bound reported
@@ -107,7 +119,8 @@ struct ResultRow {
 // batch_region_groups,batch_fastpath_hits,batch_hist_b0..batch_hist_b7,
 // tlb_mode,cross_vm_evictions,vm_invalidated,conflict_evictions,
 // capacity_evictions,displaced_by_self,displaced_by_other,util_shadow_hits,
-// util_shadow_misses,util_min_ways_90,lat_p50,lat_p90,lat_p99,
+// util_shadow_misses,util_min_ways_90,ways_assigned,repartitions,
+// repartition_evictions,lat_p50,lat_p90,lat_p99,
 // walk_guest_mem_l4..l1,walk_guest_pwc_l4..l3,
 // walk_host_mem_l4..l1,walk_host_pwc_l4..l3,walk_nested_hit_l4..l1,
 // walk_nested_walk_l4..l1,walk_memo_hits,walk_memo_upper_hits,

@@ -57,13 +57,69 @@ InterferenceReport BuildInterferenceReport(
   return report;
 }
 
+namespace {
+
+// Sparse form for rack-density sweeps: per victim, only the top-k
+// attributed evictors, as "vmE:count" triplets.
+std::string RenderInterferenceTriplets(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const InterferenceReport*>>&
+        cells,
+    size_t top_k) {
+  TextTable table(title);
+  table.SetColumns({"pair", "victim", "top evictors", "unattrib", "misses"});
+  for (const auto& [cell_label, report] : cells) {
+    if (report == nullptr || report->empty()) {
+      continue;
+    }
+    for (const VmInterferenceRow& row : report->vms) {
+      // Indices of nonzero evictors, by descending count; ties keep the
+      // lower evictor id first (stable sort over an id-ordered base).
+      std::vector<size_t> order;
+      for (size_t e = 0; e < row.displaced_by.size(); ++e) {
+        if (row.displaced_by[e] != 0) {
+          order.push_back(e);
+        }
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&row](size_t a, size_t b) {
+                         return row.displaced_by[a] > row.displaced_by[b];
+                       });
+      if (order.size() > top_k) {
+        order.resize(top_k);
+      }
+      std::string top;
+      for (const size_t e : order) {
+        if (!top.empty()) {
+          top += ' ';
+        }
+        top += "vm" + std::to_string(e) + ':' +
+               std::to_string(row.displaced_by[e]);
+      }
+      if (top.empty()) {
+        top = "-";
+      }
+      table.AddRow({cell_label, row.label, top,
+                    std::to_string(Unattributed(row)),
+                    std::to_string(row.tlb_misses)});
+    }
+  }
+  return table.Render();
+}
+
+}  // namespace
+
 std::string RenderInterferenceMatrix(
     const std::string& title,
     const std::vector<std::pair<std::string, const InterferenceReport*>>&
-        cells) {
+        cells,
+    size_t dense_vm_limit, size_t top_k) {
   const size_t n = MaxVms(cells);
   if (n == 0) {
     return std::string();
+  }
+  if (n > dense_vm_limit) {
+    return RenderInterferenceTriplets(title, cells, top_k);
   }
   TextTable table(title);
   std::vector<std::string> columns = {"pair", "victim"};

@@ -52,10 +52,18 @@ InterferenceReport BuildInterferenceReport(
 // lost to table aliasing) and the miss total.  `cells` pairs a cell label
 // (e.g. "redis+memcached") with its captured report; empty reports are
 // skipped.  Returns exactly what a TextTable prints, so goldens can pin it.
+//
+// The dense per-evictor-column form is O(N²) text; past `dense_vm_limit`
+// VMs (128-plus-VM sweeps) it switches to a sparse render: one row per
+// victim listing only its `top_k` largest attributed evictors as
+// "vmE:count" triplets (descending count, ties to the lower evictor id),
+// keeping the artifact O(N · top_k).  The defaults keep every existing
+// ≤64-VM artifact byte-identical.
 std::string RenderInterferenceMatrix(
     const std::string& title,
     const std::vector<std::pair<std::string, const InterferenceReport*>>&
-        cells);
+        cells,
+    size_t dense_vm_limit = 64, size_t top_k = 3);
 
 // Renders the utility-curve companion: per VM, the sampled-access count,
 // the full-depth shadow miss rate, and the cumulative would-hit fraction

@@ -1,0 +1,143 @@
+#include "mmu/tlb_repartitioner.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace mmu {
+
+namespace {
+
+// Expected interval hits for a VM holding `ways` ways: the prefix sum of
+// its marginal (stack-depth) histogram.
+uint64_t CumHits(const std::vector<uint64_t>& marginal, uint32_t ways) {
+  uint64_t total = 0;
+  const uint32_t n = std::min<uint32_t>(ways, marginal.size());
+  for (uint32_t d = 0; d < n; ++d) {
+    total += marginal[d];
+  }
+  return total;
+}
+
+}  // namespace
+
+TlbRepartitioner::TlbRepartitioner(Tlb* tlb, const TlbUtilityMonitor* monitor,
+                                   const Config& config)
+    : tlb_(tlb), monitor_(monitor), config_(config) {
+  SIM_CHECK(tlb_ != nullptr && monitor_ != nullptr);
+  SIM_CHECK(config_.hysteresis >= 0.0);
+}
+
+std::vector<uint32_t> TlbRepartitioner::AllocateWays(
+    const std::vector<std::vector<uint64_t>>& marginal, uint32_t total_ways,
+    uint32_t min_ways) {
+  const uint32_t n = static_cast<uint32_t>(marginal.size());
+  SIM_CHECK(n > 0 && n <= total_ways);
+  SIM_CHECK(min_ways >= 1 && static_cast<uint64_t>(n) * min_ways <= total_ways);
+  // best[i][r]: maximum total hits for VMs i..n-1 holding exactly r ways
+  // between them (each ≥ min_ways); -1 marks infeasible (r cannot be split
+  // into n-i parts of ≥ min_ways each, or r left over at i == n).
+  const uint32_t W = total_ways;
+  std::vector<std::vector<int64_t>> best(n + 1,
+                                         std::vector<int64_t>(W + 1, -1));
+  best[n][0] = 0;
+  for (uint32_t i = n; i-- > 0;) {
+    for (uint32_t r = min_ways; r <= W; ++r) {
+      int64_t b = -1;
+      for (uint32_t w = min_ways; w <= r; ++w) {
+        if (best[i + 1][r - w] < 0) {
+          continue;
+        }
+        const int64_t v =
+            static_cast<int64_t>(CumHits(marginal[i], w)) + best[i + 1][r - w];
+        b = std::max(b, v);
+      }
+      best[i][r] = b;
+    }
+  }
+  SIM_CHECK(best[0][W] >= 0);
+  // Reconstruct the lexicographically-largest optimum: at each VM in ID
+  // order, give it the largest way count consistent with the optimal total.
+  std::vector<uint32_t> alloc(n, 0);
+  uint32_t r = W;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t w = r; w >= min_ways; --w) {
+      if (best[i + 1][r - w] >= 0 &&
+          static_cast<int64_t>(CumHits(marginal[i], w)) + best[i + 1][r - w] ==
+              best[i][r]) {
+        alloc[i] = w;
+        r -= w;
+        break;
+      }
+    }
+    SIM_CHECK(alloc[i] >= min_ways);
+  }
+  SIM_CHECK(r == 0);
+  return alloc;
+}
+
+void TlbRepartitioner::Tick(const std::vector<uint16_t>& vmids) {
+  ++ticks_;
+  const uint32_t W = tlb_->config().ways;
+  const uint32_t n = static_cast<uint32_t>(vmids.size());
+  if (n == 0 || n > W) {
+    // No VMs yet, or more VMs than ways: every window assignment would
+    // starve someone, so leave the static layout alone.
+    return;
+  }
+  // Interval (since-last-tick) utility curves, differenced against the
+  // previous snapshot of the monitor's cumulative histograms.
+  std::vector<std::vector<uint64_t>> interval(n);
+  uint64_t sampled = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint16_t vmid = vmids[i];
+    const TlbUtilityMonitor::VmUtility& u = monitor_->utility(vmid);
+    if (prev_way_hits_.size() <= vmid) {
+      prev_way_hits_.resize(vmid + 1);
+    }
+    std::vector<uint64_t>& prev = prev_way_hits_[vmid];
+    interval[i].assign(W, 0);
+    for (uint32_t d = 0; d < u.way_hits.size() && d < W; ++d) {
+      const uint64_t was = d < prev.size() ? prev[d] : 0;
+      interval[i][d] = u.way_hits[d] - was;
+      sampled += interval[i][d];
+    }
+    prev = u.way_hits;
+  }
+  if (sampled == 0) {
+    return;  // nothing observed this interval; no basis to move windows
+  }
+  const uint32_t min_ways = std::max(1u, std::min(config_.min_ways, W / n));
+  const std::vector<uint32_t> want = AllocateWays(interval, W, min_ways);
+  // Hysteresis: expected interval hits of the proposed layout vs the
+  // current windows (whatever sizes they have — the initial even split may
+  // not even cover every way).
+  uint64_t want_hits = 0;
+  uint64_t cur_hits = 0;
+  bool moved = false;
+  uint32_t begin = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    want_hits += CumHits(interval[i], want[i]);
+    cur_hits += CumHits(interval[i], tlb_->vm_way_count(vmids[i]));
+    moved = moved || tlb_->vm_way_begin(vmids[i]) != begin ||
+            tlb_->vm_way_count(vmids[i]) != want[i];
+    begin += want[i];
+  }
+  if (!moved) {
+    return;
+  }
+  if (static_cast<double>(want_hits) <=
+      static_cast<double>(cur_hits) +
+          config_.hysteresis * static_cast<double>(sampled)) {
+    return;
+  }
+  // Apply: disjoint prefix windows in canonical VM-ID order.
+  begin = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    evictions_ += tlb_->RepartitionVmWays(vmids[i], begin, want[i]);
+    begin += want[i];
+  }
+  ++repartitions_;
+}
+
+}  // namespace mmu

@@ -6,12 +6,31 @@
 
 namespace osim {
 
+namespace {
+
+// kDynamic mode's control loop: forward the periodic tick to the domain's
+// repartitioner.  Being a PeriodicTask, it only ever fires from
+// RunDueDaemons — outside epoch-parallel phases, at a logical_now_ pinned
+// to the period boundary — so window moves are deterministic at any
+// GEMINI_VM_THREADS / batch size.
+class RepartitionTask final : public PeriodicTask {
+ public:
+  explicit RepartitionTask(mmu::TlbDomain* domain) : domain_(domain) {}
+  void Run(base::Cycles) override { domain_->RepartitionTick(); }
+
+ private:
+  mmu::TlbDomain* domain_;
+};
+
+}  // namespace
+
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       host_(config.host_frames, config.costs, this, config.seed * 2 + 1),
-      tlb_domain_(mmu::TlbDomainConfig{config.engine.tlb, config.tlb_mode,
-                                       config.tlb_partition_ways,
-                                       config.tlb_expected_vms}),
+      tlb_domain_(mmu::TlbDomainConfig{
+          config.engine.tlb, config.tlb_mode, config.tlb_partition_ways,
+          config.tlb_expected_vms, config.tlb_repart_min_ways,
+          config.tlb_repart_hysteresis}),
       next_daemon_(config.daemon_period),
       next_event_(config.daemon_period) {
   host_fragmenter_ = std::make_unique<vmem::Fragmenter>(
@@ -19,6 +38,12 @@ Machine::Machine(const MachineConfig& config)
   tracer_.SetClock(&logical_now_);
   // The host buddy is shared by every VM; its events carry vm_id -1.
   host_.buddy().SetTracer(&tracer_, base::Layer::kHost, -1);
+  if (config_.tlb_mode == mmu::TlbShareMode::kDynamic) {
+    const base::Cycles interval = config_.tlb_repart_interval != 0
+                                      ? config_.tlb_repart_interval
+                                      : config_.daemon_period;
+    AddTask(std::make_unique<RepartitionTask>(&tlb_domain_), interval);
+  }
 }
 
 Machine::~Machine() = default;

@@ -36,9 +36,16 @@ struct MachineConfig {
   // makes all VMs compete for one VMID-tagged array, kPartitioned statically
   // way-partitions one array.  Geometry always comes from engine.tlb.
   mmu::TlbShareMode tlb_mode = mmu::TlbShareMode::kPrivate;
-  // kPartitioned: ways per VM; 0 = even split over tlb_expected_vms.
+  // kPartitioned / kDynamic: ways per VM at boot; 0 = even split over
+  // tlb_expected_vms.
   uint32_t tlb_partition_ways = 0;
   uint32_t tlb_expected_vms = 2;
+  // kDynamic: repartitioner tick interval (0 = daemon_period) and policy
+  // knobs (see mmu/tlb_repartitioner.h).  The tick runs as a PeriodicTask,
+  // so it only ever fires outside epoch-parallel phases.
+  base::Cycles tlb_repart_interval = 0;
+  uint32_t tlb_repart_min_ways = 1;
+  double tlb_repart_hysteresis = 0.05;
 };
 
 // A periodic background component (e.g. Gemini's MHPS).  Owned by the

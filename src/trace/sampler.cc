@@ -58,6 +58,9 @@ void StackSampler::Run(base::Cycles now) {
       p.util_shadow_hits += h;
     }
     p.util_shadow_misses = s.util_shadow_misses;
+    p.ways_assigned = s.tlb_ways_assigned;
+    p.repartitions = s.tlb_repartitions;
+    p.repartition_evictions = s.tlb_repartition_evictions;
     p.lat_p50 = base::Log2Histogram::PercentileOfCounts(s.lat_hist, 0.50);
     p.lat_p90 = base::Log2Histogram::PercentileOfCounts(s.lat_hist, 0.90);
     p.lat_p99 = base::Log2Histogram::PercentileOfCounts(s.lat_hist, 0.99);
@@ -82,7 +85,8 @@ std::string StackSampler::ToCsv() const {
          "booking_timeout_cycles,bookings_active,bucket_held,tlb_miss_rate,"
          "stale_hits,cross_vm_evictions,vm_invalidated,"
          "displaced_by_self,displaced_by_other,util_shadow_hits,"
-         "util_shadow_misses,lat_p50,lat_p90,lat_p99,batches,"
+         "util_shadow_misses,ways_assigned,repartitions,"
+         "repartition_evictions,lat_p50,lat_p90,lat_p99,batches,"
          "batched_accesses,batch_region_groups,batch_fastpath_hits";
   for (int b = 0; b < 8; ++b) {
     out << ",batch_hist_b" << b;
@@ -102,6 +106,8 @@ std::string StackSampler::ToCsv() const {
         << ',' << p.cross_vm_evictions << ',' << p.vm_invalidated
         << ',' << p.displaced_by_self << ',' << p.displaced_by_other
         << ',' << p.util_shadow_hits << ',' << p.util_shadow_misses
+        << ',' << p.ways_assigned << ',' << p.repartitions
+        << ',' << p.repartition_evictions
         << ',' << p.lat_p50 << ',' << p.lat_p90 << ',' << p.lat_p99
         << ',' << p.batches << ',' << p.batched_accesses << ','
         << p.batch_region_groups << ',' << p.batch_fastpath_hits;

@@ -49,6 +49,12 @@ struct SamplePoint {
   uint64_t displaced_by_other = 0;
   uint64_t util_shadow_hits = 0;
   uint64_t util_shadow_misses = 0;
+  // Dynamic way repartitioning (zero outside GEMINI_TLB_MODE=dynamic):
+  // this VM's current way-window size, cumulative applied repartitions
+  // (domain-wide), and this VM's entries dropped by window moves.
+  uint64_t ways_assigned = 0;
+  uint64_t repartitions = 0;
+  uint64_t repartition_evictions = 0;
   // Cumulative translation-latency percentiles, cycles (log2-bucket
   // nearest-rank, bucket upper bound reported).
   uint64_t lat_p50 = 0;

@@ -7,7 +7,9 @@
 //
 //  * full rack-density scenarios (arrival waves, diurnal load, churn, GC,
 //    latency requests, teardown) digested at 1/2/4/8 worker threads must
-//    be bit-identical, in all three TLB sharing modes;
+//    be bit-identical, in all four TLB sharing modes (dynamic included:
+//    repartition ticks fire only at epoch barriers, so the adapted way
+//    windows and their eviction counts are part of the contract);
 //  * the machine-level epoch primitives on pre-faulted (clean) private-
 //    mode streams must match Machine::AccessBatch access-for-access,
 //    including the clock;
@@ -64,6 +66,9 @@ std::string DigestResult(const workload::RunResult& r) {
   Append(&d, "dself", r.counters.tlb_displaced_by_self);
   Append(&d, "dother", r.counters.tlb_displaced_by_other);
   Append(&d, "shadow", r.counters.util_shadow_misses);
+  Append(&d, "ways", r.counters.tlb_ways_assigned);
+  Append(&d, "repart", r.counters.tlb_repartitions);
+  Append(&d, "revict", r.counters.tlb_repartition_evictions);
   Append(&d, "tcyc", r.counters.translation_cycles);
   Append(&d, "goh", r.counters.guest_overhead_cycles);
   Append(&d, "hoh", r.counters.host_overhead_cycles);
@@ -142,7 +147,7 @@ std::string RunScenario(TlbShareMode mode, uint32_t threads) {
 TEST(EpochExecutor, ThreadCountUnobservableAllModes) {
   for (const TlbShareMode mode :
        {TlbShareMode::kPrivate, TlbShareMode::kShared,
-        TlbShareMode::kPartitioned}) {
+        TlbShareMode::kPartitioned, TlbShareMode::kDynamic}) {
     const std::string serial = RunScenario(mode, 1);
     for (const uint32_t threads : {2u, 4u, 8u}) {
       EXPECT_EQ(serial, RunScenario(mode, threads))
@@ -321,7 +326,8 @@ std::string FuzzRun(uint64_t seed, TlbShareMode mode) {
 
 TEST(EpochExecutor, FuzzChurnReplaysBitIdentically) {
   for (const TlbShareMode mode :
-       {TlbShareMode::kPrivate, TlbShareMode::kShared}) {
+       {TlbShareMode::kPrivate, TlbShareMode::kShared,
+        TlbShareMode::kDynamic}) {
     for (uint64_t seed = 1; seed <= 3; ++seed) {
       EXPECT_EQ(FuzzRun(seed, mode), FuzzRun(seed, mode))
           << "mode=" << mmu::TlbShareModeName(mode) << " seed=" << seed;

@@ -54,6 +54,11 @@ workload::RunResult SampleResult() {
   r.counters.util_way_hits[0] = 10;
   r.counters.util_way_hits[1] = 5;
   r.counters.util_shadow_misses = 5;
+  // Dynamic repartitioning: a 6-way window after 2 applied repartitions
+  // that dropped 14 stranded entries.
+  r.counters.tlb_ways_assigned = 6;
+  r.counters.tlb_repartitions = 2;
+  r.counters.tlb_repartition_evictions = 14;
   // 100 translations: 50 in [2,3], 45 in [32,63], 5 in [128,255] — so
   // p50 = 3, p90 = 63, p99 = 255 (nearest-rank bucket upper bounds).
   r.counters.lat_hist[1] = 50;
@@ -70,7 +75,7 @@ TEST(Export, CsvHasHeaderAndRow) {
   EXPECT_NE(csv.find("workload,system,throughput"), std::string::npos);
   EXPECT_NE(csv.find("Redis,Gemini,1.5,1000,2000,42,6,0.25,0.875,7,9,11,3,5,"
                      "2,13,832,40,700,1,0,0,0,0,0,12,0,private,4,8,4,4,"
-                     "5,9,15,5,2,3,63,255,"
+                     "5,9,15,5,2,6,2,14,3,63,255,"
                      "1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,"
                      "21,22,123456"),
             std::string::npos);
@@ -222,6 +227,7 @@ TEST(Export, CarriesUtilityAndLatencyColumns) {
   EXPECT_NE(csv.find("capacity_evictions,displaced_by_self,"
                      "displaced_by_other,util_shadow_hits,"
                      "util_shadow_misses,util_min_ways_90,"
+                     "ways_assigned,repartitions,repartition_evictions,"
                      "lat_p50,lat_p90,lat_p99,walk_guest_mem_l4"),
             std::string::npos);
   const std::string json =
@@ -232,6 +238,9 @@ TEST(Export, CarriesUtilityAndLatencyColumns) {
   EXPECT_NE(json.find("\"util_shadow_misses\": 5"), std::string::npos);
   // 10 of 15 hits at depth 0 is 67%; the second way crosses 90%.
   EXPECT_NE(json.find("\"util_min_ways_90\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"ways_assigned\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"repartitions\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"repartition_evictions\": 14"), std::string::npos);
   EXPECT_NE(json.find("\"lat_p50\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"lat_p90\": 63"), std::string::npos);
   EXPECT_NE(json.find("\"lat_p99\": 255"), std::string::npos);

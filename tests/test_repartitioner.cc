@@ -1,0 +1,453 @@
+// Tests for the dynamic TLB way repartitioner (mmu/tlb_repartitioner.h).
+//
+// Four layers of coverage:
+//
+//  * Brute-force differential: AllocateWays fuzzed over randomized
+//    marginal-utility curves (idle, noisy, decaying, spiked — deliberately
+//    including non-concave shapes where greedy climbing is wrong) and held
+//    to the exact exhaustive-search optimum, including the deterministic
+//    lexicographically-largest tie-break, on well over 1000 instances.
+//  * Allocation properties: windows sum to the full associativity, respect
+//    the min-ways floor, and the solver is deterministic.
+//  * Tlb window-move properties under fuzz: after every full prefix
+//    relayout no VM has a valid entry outside its window
+//    (entry_count_outside_window — the integrity probe), dropped-entry
+//    counts reconcile exactly with the repartition_evictions counters and
+//    the residency deltas, and an unchanged window is a free no-op.
+//  * Policy ticks against a live monitor, and an end-to-end kDynamic
+//    machine: skewed load moves ways to the hot VM, hysteresis holds
+//    near-ties still, idle intervals change nothing, and two identical
+//    runs produce identical counters, windows, and repartition counts.
+#include "mmu/tlb_repartitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "harness/systems.h"
+#include "mmu/tlb.h"
+#include "mmu/tlb_domain.h"
+#include "mmu/tlb_utility_monitor.h"
+#include "os/machine.h"
+#include "os/virtual_machine.h"
+
+namespace {
+
+using base::PageSize;
+using mmu::Tlb;
+using mmu::TlbConfig;
+using mmu::TlbRepartitioner;
+using mmu::TlbUtilityMonitor;
+using osim::VirtualMachine;
+
+uint64_t CumHits(const std::vector<uint64_t>& marginal, uint32_t ways) {
+  uint64_t total = 0;
+  for (uint32_t d = 0; d < ways && d < marginal.size(); ++d) {
+    total += marginal[d];
+  }
+  return total;
+}
+
+// --- Brute-force differential ----------------------------------------------
+
+struct RefBest {
+  int64_t total = -1;
+  std::vector<uint32_t> alloc;
+};
+
+// Exhaustive reference: enumerate every composition of `remaining` ways
+// over VMs i..n-1 (each >= min_ways) and keep the best total, breaking
+// ties toward the lexicographically-largest allocation vector — the same
+// contract AllocateWays documents.
+void Enumerate(const std::vector<std::vector<uint64_t>>& marginal,
+               uint32_t min_ways, size_t i, uint32_t remaining, int64_t acc,
+               std::vector<uint32_t>* cur, RefBest* best) {
+  const size_t n = marginal.size();
+  if (i == n) {
+    if (remaining == 0 &&
+        (acc > best->total ||
+         (acc == best->total && *cur > best->alloc))) {
+      best->total = acc;
+      best->alloc = *cur;
+    }
+    return;
+  }
+  const uint32_t reserve = min_ways * static_cast<uint32_t>(n - i - 1);
+  for (uint32_t w = min_ways; w + reserve <= remaining; ++w) {
+    cur->push_back(w);
+    Enumerate(marginal, min_ways, i + 1, remaining - w,
+              acc + static_cast<int64_t>(CumHits(marginal[i], w)), cur, best);
+    cur->pop_back();
+  }
+}
+
+// One randomized curve: idle VMs, uniform noise, roughly-decaying reuse,
+// and a non-concave spike (all reuse at one stack depth — a looping scan,
+// exactly the shape where greedy marginal climbing picks wrong).
+std::vector<uint64_t> FuzzCurve(base::Rng& rng, uint32_t ways) {
+  std::vector<uint64_t> curve(ways, 0);
+  switch (rng.NextBelow(4)) {
+    case 0:
+      break;  // idle: all zero
+    case 1:
+      for (auto& v : curve) {
+        v = rng.NextBelow(100);
+      }
+      break;
+    case 2:
+      for (uint32_t d = 0; d < ways; ++d) {
+        curve[d] = rng.NextBelow(200) >> (d / 2);
+      }
+      break;
+    default: {
+      const uint32_t spike = static_cast<uint32_t>(rng.NextBelow(ways));
+      for (uint32_t d = 0; d < ways; ++d) {
+        curve[d] = d == spike ? 200 + rng.NextBelow(400) : rng.NextBelow(8);
+      }
+      break;
+    }
+  }
+  return curve;
+}
+
+TEST(RepartitionerAllocation, MatchesExhaustiveSearchOnFuzzedInstances) {
+  base::Rng rng(4242);
+  int uneven = 0;  // instances whose optimum is not the even split
+  for (int iter = 0; iter < 1200; ++iter) {
+    const uint32_t n = 2 + static_cast<uint32_t>(rng.NextBelow(3));  // 2..4
+    const uint32_t ways =
+        4 + static_cast<uint32_t>(rng.NextBelow(13));  // 4..16 >= n
+    const uint32_t min_ways =
+        1 + static_cast<uint32_t>(rng.NextBelow(ways / n));
+    std::vector<std::vector<uint64_t>> marginal(n);
+    for (auto& curve : marginal) {
+      curve = FuzzCurve(rng, ways);
+    }
+
+    const std::vector<uint32_t> got =
+        TlbRepartitioner::AllocateWays(marginal, ways, min_ways);
+
+    RefBest best;
+    std::vector<uint32_t> cur;
+    Enumerate(marginal, min_ways, 0, ways, 0, &cur, &best);
+    ASSERT_GE(best.total, 0) << "iter " << iter;
+    ASSERT_EQ(got, best.alloc) << "iter " << iter << " n=" << n
+                               << " ways=" << ways << " min=" << min_ways;
+
+    // Structural properties, re-checked on every instance.
+    uint32_t sum = 0;
+    for (const uint32_t w : got) {
+      EXPECT_GE(w, min_ways) << "iter " << iter;
+      sum += w;
+    }
+    EXPECT_EQ(sum, ways) << "iter " << iter;
+    EXPECT_EQ(TlbRepartitioner::AllocateWays(marginal, ways, min_ways), got)
+        << "determinism, iter " << iter;
+
+    if (ways % n == 0 &&
+        got != std::vector<uint32_t>(n, ways / n)) {
+      ++uneven;
+    }
+  }
+  // The fuzzer must actually exercise skewed optima, or the differential
+  // would be vacuously comparing even splits.
+  EXPECT_GT(uneven, 100);
+}
+
+TEST(RepartitionerAllocation, TiesBreakTowardLowerVmIds) {
+  // All-zero and all-equal curves make every split an optimum; the
+  // contract picks the lexicographically-largest vector, so VM 0 takes
+  // everything above the floor.
+  const std::vector<std::vector<uint64_t>> idle(3,
+                                                std::vector<uint64_t>(6, 0));
+  EXPECT_EQ(TlbRepartitioner::AllocateWays(idle, 6, 1),
+            (std::vector<uint32_t>{4, 1, 1}));
+  EXPECT_EQ(TlbRepartitioner::AllocateWays(idle, 6, 2),
+            (std::vector<uint32_t>{2, 2, 2}));
+  const std::vector<std::vector<uint64_t>> flat(2,
+                                                std::vector<uint64_t>(4, 7));
+  EXPECT_EQ(TlbRepartitioner::AllocateWays(flat, 4, 1),
+            (std::vector<uint32_t>{3, 1}));
+}
+
+TEST(RepartitionerAllocation, PrefersTheVmWhoseCurveKeepsGrowing) {
+  // VM 0 saturates after 2 ways; VM 1 gains at every depth.  The solver
+  // must hand VM 1 the surplus even though VM 0 has the larger total.
+  const std::vector<std::vector<uint64_t>> marginal = {
+      {500, 500, 0, 0, 0, 0},
+      {100, 100, 100, 100, 100, 100},
+  };
+  EXPECT_EQ(TlbRepartitioner::AllocateWays(marginal, 6, 1),
+            (std::vector<uint32_t>{2, 4}));
+}
+
+// --- Tlb window-move properties under fuzz ---------------------------------
+
+TEST(RepartitionerTlbFuzz, RelayoutsNeverLeaveCrossWindowEntries) {
+  TlbConfig config;
+  config.sets = 16;
+  config.ways = 8;
+  Tlb tlb(config);
+  constexpr uint16_t kVms = 3;
+  tlb.SetVmWays(0, 0, 3);
+  tlb.SetVmWays(1, 3, 3);
+  tlb.SetVmWays(2, 6, 2);
+
+  base::Rng rng(99);
+  for (int round = 0; round < 300; ++round) {
+    for (int k = 0; k < 40; ++k) {
+      const uint16_t vmid = static_cast<uint16_t>(rng.NextBelow(kVms));
+      const uint64_t vpn = rng.NextBelow(2048);
+      if (rng.NextBool(0.25)) {
+        tlb.Insert(vpn, PageSize::kHuge, vpn >> base::kHugeOrder, {}, vmid);
+      } else if (!tlb.Lookup(vpn, vmid).hit) {
+        tlb.Insert(vpn, PageSize::kBase, vpn, {}, vmid);
+      }
+    }
+
+    // Random full prefix relayout, each VM >= 1 way.
+    uint32_t w[kVms];
+    w[0] = 1 + static_cast<uint32_t>(rng.NextBelow(config.ways - 2));
+    w[1] = 1 + static_cast<uint32_t>(rng.NextBelow(config.ways - w[0] - 1));
+    w[2] = config.ways - w[0] - w[1];
+    const uint32_t before_total = tlb.entry_count();
+    uint32_t dropped_total = 0;
+    uint32_t begin = 0;
+    for (uint16_t vmid = 0; vmid < kVms; ++vmid) {
+      const uint64_t evictions_before =
+          tlb.vm_counters(vmid).repartition_evictions;
+      const bool unchanged = tlb.vm_way_begin(vmid) == begin &&
+                             tlb.vm_way_count(vmid) == w[vmid];
+      const uint32_t dropped = tlb.RepartitionVmWays(vmid, begin, w[vmid]);
+      if (unchanged) {
+        EXPECT_EQ(dropped, 0u) << "round " << round;
+      }
+      EXPECT_EQ(tlb.vm_counters(vmid).repartition_evictions,
+                evictions_before + dropped)
+          << "round " << round;
+      dropped_total += dropped;
+      begin += w[vmid];
+    }
+    ASSERT_EQ(begin, config.ways);
+
+    // The integrity probe: no VM retains a valid entry outside its window.
+    for (uint16_t vmid = 0; vmid < kVms; ++vmid) {
+      ASSERT_EQ(tlb.entry_count_outside_window(vmid), 0u)
+          << "round " << round << " vm " << vmid;
+      ASSERT_EQ(tlb.vm_way_count(vmid), w[vmid]);
+    }
+    // Residency reconciles: drops are the only entries that disappeared,
+    // and per-VM / per-set tilings still sum to the total.
+    ASSERT_EQ(tlb.entry_count(), before_total - dropped_total)
+        << "round " << round;
+    uint32_t per_vm = 0;
+    for (uint16_t vmid = 0; vmid < kVms; ++vmid) {
+      per_vm += tlb.entry_count(vmid);
+    }
+    ASSERT_EQ(per_vm, tlb.entry_count());
+    uint32_t occupancy = 0;
+    for (uint32_t s = 0; s < config.sets; ++s) {
+      occupancy += tlb.set_occupancy(s);
+    }
+    ASSERT_EQ(occupancy, tlb.entry_count());
+  }
+}
+
+// --- Policy ticks against a live monitor -----------------------------------
+
+struct MonitoredTlb {
+  TlbConfig config;
+  Tlb tlb;
+  TlbUtilityMonitor monitor;
+
+  explicit MonitoredTlb(uint32_t sets, uint32_t ways)
+      : config{sets, ways},
+        tlb(config),
+        monitor(TlbUtilityMonitor::Config{sets, ways, 1, 1024}) {
+    tlb.AttachUtilityMonitor(&monitor);
+    tlb.SetVmWays(0, 0, ways / 2);
+    tlb.SetVmWays(1, ways / 2, ways / 2);
+  }
+
+  // One access as the translation path would issue it: probe, fill on miss.
+  void Access(uint64_t vpn, uint16_t vmid) {
+    if (!tlb.Lookup(vpn, vmid).hit) {
+      tlb.InsertMiss(vpn, PageSize::kBase, vpn, {}, vmid);
+    }
+  }
+};
+
+TEST(Repartitioner, SkewedLoadMovesWaysTowardTheHotVm) {
+  MonitoredTlb m(16, 8);
+  TlbRepartitioner::Config rc;
+  rc.min_ways = 1;
+  rc.hysteresis = 0.01;
+  TlbRepartitioner rep(&m.tlb, &m.monitor, rc);
+
+  // VM 0 sweeps 96 pages (6 per set — its reuse needs 6 ways); VM 1 loops
+  // over 16 (1 per set — saturated by a single way).
+  for (int i = 0; i < 4000; ++i) {
+    m.Access(i % 96, 0);
+    m.Access(i % 16, 1);
+  }
+  rep.Tick({0, 1});
+
+  EXPECT_EQ(rep.ticks(), 1u);
+  EXPECT_EQ(rep.repartitions(), 1u);
+  EXPECT_GE(m.tlb.vm_way_count(0), 6u);
+  EXPECT_GE(m.tlb.vm_way_count(1), 1u);
+  EXPECT_EQ(m.tlb.vm_way_count(0) + m.tlb.vm_way_count(1), 8u);
+  EXPECT_EQ(m.tlb.vm_way_begin(0), 0u);
+  EXPECT_EQ(m.tlb.vm_way_begin(1), m.tlb.vm_way_count(0));
+  EXPECT_EQ(m.tlb.entry_count_outside_window(0), 0u);
+  EXPECT_EQ(m.tlb.entry_count_outside_window(1), 0u);
+}
+
+TEST(Repartitioner, MinWaysFloorProtectsTheIdleVm) {
+  MonitoredTlb m(16, 8);
+  TlbRepartitioner::Config rc;
+  rc.min_ways = 3;
+  rc.hysteresis = 0.0;
+  TlbRepartitioner rep(&m.tlb, &m.monitor, rc);
+
+  // VM 1 never runs; an unfloored allocator would strip it to one way.
+  // VM 0 sweeps 5 pages per set, so the 5-way window the floor leaves
+  // available is exactly enough to turn its misses into hits.
+  for (int i = 0; i < 4000; ++i) {
+    m.Access(i % 80, 0);
+  }
+  rep.Tick({0, 1});
+  EXPECT_EQ(rep.repartitions(), 1u);
+  EXPECT_EQ(m.tlb.vm_way_count(0), 5u);
+  EXPECT_EQ(m.tlb.vm_way_count(1), 3u);
+}
+
+TEST(Repartitioner, HysteresisHoldsNearTiesStill) {
+  MonitoredTlb m(16, 8);
+  TlbRepartitioner::Config rc;
+  rc.min_ways = 1;
+  rc.hysteresis = 0.05;
+  TlbRepartitioner rep(&m.tlb, &m.monitor, rc);
+
+  // Symmetric load: both VMs loop one page per set.  The even split is
+  // already (an) optimum; the lexicographic tie-break would prefer handing
+  // VM 0 the surplus, but the move gains nothing, so hysteresis must veto
+  // it — a near-tie repartition would pay evictions for zero benefit.
+  for (int i = 0; i < 4000; ++i) {
+    m.Access(i % 16, 0);
+    m.Access(i % 16, 1);
+  }
+  rep.Tick({0, 1});
+  EXPECT_EQ(rep.ticks(), 1u);
+  EXPECT_EQ(rep.repartitions(), 0u);
+  EXPECT_EQ(rep.evictions(), 0u);
+  EXPECT_EQ(m.tlb.vm_way_count(0), 4u);
+  EXPECT_EQ(m.tlb.vm_way_count(1), 4u);
+}
+
+TEST(Repartitioner, IdleIntervalLeavesWindowsAlone) {
+  MonitoredTlb m(16, 8);
+  TlbRepartitioner::Config rc;
+  rc.min_ways = 1;
+  rc.hysteresis = 0.01;
+  TlbRepartitioner rep(&m.tlb, &m.monitor, rc);
+
+  for (int i = 0; i < 4000; ++i) {
+    m.Access(i % 96, 0);
+    m.Access(i % 16, 1);
+  }
+  rep.Tick({0, 1});
+  ASSERT_EQ(rep.repartitions(), 1u);
+  const uint32_t w0 = m.tlb.vm_way_count(0);
+
+  // Nothing ran since the last tick: the interval curves are all zero, so
+  // the tick has no basis to move anything (and must not, e.g., decay
+  // back to an even split and thrash).
+  rep.Tick({0, 1});
+  EXPECT_EQ(rep.ticks(), 2u);
+  EXPECT_EQ(rep.repartitions(), 1u);
+  EXPECT_EQ(m.tlb.vm_way_count(0), w0);
+}
+
+// --- End-to-end kDynamic machine -------------------------------------------
+
+struct MachineOutcome {
+  uint64_t hits[2] = {};
+  uint64_t misses[2] = {};
+  uint32_t ways[2] = {};
+  uint64_t repartitions = 0;
+  uint64_t repartition_evictions = 0;
+
+  bool operator==(const MachineOutcome&) const = default;
+};
+
+MachineOutcome RunDynamicMachine(uint32_t min_ways) {
+  osim::MachineConfig config;
+  config.host_frames = 65536;
+  config.daemon_period = 20000;
+  config.seed = 11;
+  config.tlb_mode = mmu::TlbShareMode::kDynamic;
+  config.tlb_repart_min_ways = min_ways;
+  osim::Machine machine(config);
+  VirtualMachine& big =
+      harness::AddSystemVm(machine, harness::SystemKind::kHostBVmB, 16384);
+  VirtualMachine& small =
+      harness::AddSystemVm(machine, harness::SystemKind::kHostBVmB, 16384);
+  const uint64_t big_base =
+      big.guest().aspace().MapAnonymous(896).start_page;
+  const uint64_t small_base =
+      small.guest().aspace().MapAnonymous(64).start_page;
+
+  // Big VM sweeps 7 pages per TLB set — one more way than the even split
+  // gives it turns its cyclic reuse from all-miss to all-hit; small loops
+  // well under one way's worth.  Interleaved accesses advance the clock
+  // past many daemon periods, so the repartition task fires repeatedly
+  // mid-run.
+  for (uint64_t i = 0; i < 20000; ++i) {
+    machine.Access(0, big_base + (i % 896), 50);
+    machine.Access(1, small_base + (i % 64), 50);
+  }
+
+  const mmu::TlbDomain& domain = machine.tlb_domain();
+  const mmu::Tlb* shared = domain.shared_tlb();
+  EXPECT_NE(shared, nullptr);
+  MachineOutcome out;
+  out.repartitions = domain.repartition_count();
+  for (uint16_t vmid = 0; vmid < 2; ++vmid) {
+    out.hits[vmid] = shared->vm_counters(vmid).hits;
+    out.misses[vmid] = shared->vm_counters(vmid).misses;
+    out.ways[vmid] = shared->vm_way_count(vmid);
+    out.repartition_evictions +=
+        shared->vm_counters(vmid).repartition_evictions;
+    EXPECT_EQ(shared->entry_count_outside_window(vmid), 0u);
+  }
+  EXPECT_EQ(out.ways[0] + out.ways[1], shared->config().ways);
+  return out;
+}
+
+TEST(RepartitionerMachine, DynamicModeAdaptsAndReplaysBitIdentically) {
+  const MachineOutcome a = RunDynamicMachine(1);
+  EXPECT_GE(a.repartitions, 1u);
+  EXPECT_GT(a.repartition_evictions, 0u);
+  // The big VM's working set dwarfs the small one's; the adapted split
+  // must reflect that.
+  EXPECT_GT(a.ways[0], a.ways[1]);
+  EXPECT_GE(a.ways[1], 1u);
+
+  // Same config, same seed, same access stream: byte-identical outcome.
+  const MachineOutcome b = RunDynamicMachine(1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RepartitionerMachine, ConfiguredMinWaysFloorHoldsEndToEnd) {
+  const MachineOutcome a = RunDynamicMachine(5);
+  EXPECT_GE(a.repartitions, 1u);
+  EXPECT_GE(a.ways[0], 5u);
+  EXPECT_GE(a.ways[1], 5u);
+}
+
+}  // namespace

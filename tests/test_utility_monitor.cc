@@ -582,6 +582,47 @@ TEST(InterferenceGolden, MatrixTableRendersExactly) {
   EXPECT_EQ(rendered, expected);
 }
 
+// Past `dense_vm_limit` VMs the matrix switches to the sparse triplet
+// render: per victim, only the top-k evictors as "vmE:count", descending
+// count with ties to the lower evictor id, "-" when nothing is attributed.
+// The same report stays dense under the default limit, so every existing
+// small-sweep artifact is unchanged.
+TEST(InterferenceGolden, SparseTripletRenderPastDenseVmLimit) {
+  metrics::InterferenceReport report;
+  metrics::VmInterferenceRow vm0;
+  vm0.label = "vm0";
+  vm0.displaced_by = {4, 9, 9};  // tie: vm1 before vm2, vm0 truncated
+  vm0.tlb_misses = 30;
+  metrics::VmInterferenceRow vm1;
+  vm1.label = "vm1";
+  vm1.displaced_by = {0, 0, 0};  // nothing attributed
+  vm1.tlb_misses = 5;
+  metrics::VmInterferenceRow vm2;
+  vm2.label = "vm2";
+  vm2.displaced_by = {1, 2, 3};
+  vm2.tlb_misses = 6;
+  report.vms.push_back(std::move(vm0));
+  report.vms.push_back(std::move(vm1));
+  report.vms.push_back(std::move(vm2));
+
+  // Default limit (64): three VMs render the dense per-evictor columns.
+  const std::string dense =
+      metrics::RenderInterferenceMatrix("rack golden", {{"rack", &report}});
+  EXPECT_NE(dense.find("by vm2"), std::string::npos);
+  EXPECT_EQ(dense.find("top evictors"), std::string::npos);
+
+  const std::string sparse = metrics::RenderInterferenceMatrix(
+      "rack golden", {{"rack", &report}}, /*dense_vm_limit=*/2, /*top_k=*/2);
+  const std::string expected =
+      "\n== rack golden ==\n"
+      "pair  victim  top evictors  unattrib  misses\n"
+      "--------------------------------------------\n"
+      "rack  vm0     vm1:9 vm2:9   8         30    \n"
+      "rack  vm1     -             5         5     \n"
+      "rack  vm2     vm2:3 vm1:2   0         6     \n";
+  EXPECT_EQ(sparse, expected);
+}
+
 TEST(InterferenceGolden, UtilityCurveTableRendersExactly) {
   const metrics::InterferenceReport report = GoldenReport();
   const std::string rendered = metrics::RenderUtilityCurves(
