@@ -1,0 +1,187 @@
+#include "damon/region_monitor.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace damon {
+
+RegionMonitor::RegionMonitor(const MonitorConfig& config, uint64_t span_pages)
+    : config_(config), span_(span_pages), rng_(config.seed) {
+  SIM_CHECK(span_pages >= 1);
+  SIM_CHECK(config_.min_regions >= 1);
+  SIM_CHECK(config_.max_regions >= config_.min_regions);
+  SIM_CHECK(config_.aggregation_ticks >= 1);
+  // Initial layout: min_regions equal slices (fewer if the span is tiny).
+  const uint64_t count = std::min<uint64_t>(config_.min_regions, span_);
+  const uint64_t base_len = span_ / count;
+  const uint64_t remainder = span_ % count;
+  uint64_t start = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Region r;
+    r.start = start;
+    r.len = base_len + (i < remainder ? 1 : 0);
+    start += r.len;
+    regions_.push_back(r);
+  }
+  SIM_CHECK(start == span_);
+  armed_.resize(regions_.size());
+}
+
+void RegionMonitor::Tick(
+    const std::function<uint64_t(uint64_t)>& access_count) {
+  ++stats_.ticks;
+  // Phase one: check the pages armed at the previous tick.
+  last_samples_.clear();
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (!armed_[i].valid) {
+      continue;
+    }
+    SampleRecord rec;
+    rec.region_start = regions_[i].start;
+    rec.page = armed_[i].page;
+    rec.armed_count = armed_[i].count;
+    rec.checked_count = access_count(armed_[i].page);
+    rec.accessed = rec.checked_count > rec.armed_count;
+    last_samples_.push_back(rec);
+    ++stats_.samples_checked;
+    if (rec.accessed) {
+      regions_[i].nr_accesses += 1;
+      ++stats_.samples_accessed;
+    }
+  }
+  // Aggregate on window boundaries *before* arming, so the new samples
+  // target the adapted layout.
+  if (++ticks_since_aggregation_ >= config_.aggregation_ticks) {
+    ticks_since_aggregation_ = 0;
+    Aggregate();
+  }
+  // Phase two: arm one uniformly random page per region for the next tick.
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    const Region& r = regions_[i];
+    armed_[i].page = r.start + rng_.NextBelow(r.len);
+    armed_[i].count = access_count(armed_[i].page);
+    armed_[i].valid = true;
+  }
+}
+
+void RegionMonitor::Aggregate() {
+  ++stats_.aggregations;
+  last_layout_ops_.clear();
+  // Merge reads the window's raw tallies (DAMON order: merge, reset,
+  // split), so freshly similar neighbors fuse before tallies reset.
+  MergePass();
+  for (Region& r : regions_) {
+    r.last_nr_accesses = r.nr_accesses;
+    r.nr_accesses = 0;
+    r.age += 1;
+  }
+  SplitPass();
+}
+
+void RegionMonitor::MergePass() {
+  const uint64_t min_regions = std::min<uint64_t>(config_.min_regions, span_);
+  size_t i = 0;
+  while (i + 1 < regions_.size() && regions_.size() > min_regions) {
+    Region& left = regions_[i];
+    Region& right = regions_[i + 1];
+    const uint32_t diff = left.nr_accesses > right.nr_accesses
+                              ? left.nr_accesses - right.nr_accesses
+                              : right.nr_accesses - left.nr_accesses;
+    if (diff > config_.merge_threshold) {
+      ++i;
+      continue;
+    }
+    last_layout_ops_.push_back(
+        {LayoutOp::Kind::kMerge, left.start, right.start});
+    ++stats_.merges;
+    // Length-weighted averages, as damon_merge_two_regions.
+    const uint64_t total = left.len + right.len;
+    left.nr_accesses = static_cast<uint32_t>(
+        (uint64_t{left.nr_accesses} * left.len +
+         uint64_t{right.nr_accesses} * right.len) /
+        total);
+    left.age = static_cast<uint32_t>(
+        (uint64_t{left.age} * left.len + uint64_t{right.age} * right.len) /
+        total);
+    left.len = total;
+    if (!armed_[i].valid) {
+      armed_[i] = armed_[i + 1];
+    }
+    regions_.erase(regions_.begin() + static_cast<ptrdiff_t>(i) + 1);
+    armed_.erase(armed_.begin() + static_cast<ptrdiff_t>(i) + 1);
+    // Do not advance: the fused region may merge with its next neighbor.
+  }
+}
+
+void RegionMonitor::SplitPass() {
+  if (regions_.size() * 2 <= config_.max_regions) {
+    // Room to double: split every splittable region at a random interior
+    // point (DAMON's exploration step — random points avoid locking onto
+    // pathological alignments).
+    for (size_t i = 0; i < regions_.size(); ++i) {
+      if (regions_[i].len < 2) {
+        continue;
+      }
+      const uint64_t at =
+          regions_[i].start + 1 + rng_.NextBelow(regions_[i].len - 1);
+      SplitRegionAt(i, at);
+      ++i;  // skip the freshly inserted right half
+    }
+    return;
+  }
+  // Otherwise refine the coarsest regions until the budget is spent.
+  while (regions_.size() < config_.max_regions) {
+    size_t best = regions_.size();
+    for (size_t i = 0; i < regions_.size(); ++i) {
+      if (regions_[i].len >= 2 &&
+          (best == regions_.size() || regions_[i].len > regions_[best].len)) {
+        best = i;
+      }
+    }
+    if (best == regions_.size()) {
+      break;  // nothing splittable
+    }
+    const uint64_t at =
+        regions_[best].start + 1 + rng_.NextBelow(regions_[best].len - 1);
+    SplitRegionAt(best, at);
+  }
+}
+
+void RegionMonitor::SplitRegionAt(size_t index, uint64_t at) {
+  Region& left = regions_[index];
+  SIM_CHECK(at > left.start && at < left.start + left.len);
+  last_layout_ops_.push_back({LayoutOp::Kind::kSplit, left.start, at});
+  ++stats_.splits;
+  Region right;
+  right.start = at;
+  right.len = left.start + left.len - at;
+  right.nr_accesses = left.nr_accesses;
+  right.last_nr_accesses = left.last_nr_accesses;
+  right.age = left.age;
+  left.len = at - left.start;
+  Armed right_armed;
+  if (armed_[index].valid && armed_[index].page >= at) {
+    right_armed = armed_[index];
+    armed_[index].valid = false;
+  }
+  regions_.insert(regions_.begin() + static_cast<ptrdiff_t>(index) + 1, right);
+  armed_.insert(armed_.begin() + static_cast<ptrdiff_t>(index) + 1,
+                right_armed);
+}
+
+std::vector<Region> RegionMonitor::ColdOrder() const {
+  std::vector<Region> cold = regions_;
+  std::sort(cold.begin(), cold.end(), [](const Region& a, const Region& b) {
+    if (a.last_nr_accesses != b.last_nr_accesses) {
+      return a.last_nr_accesses < b.last_nr_accesses;
+    }
+    if (a.age != b.age) {
+      return a.age > b.age;
+    }
+    return a.start < b.start;
+  });
+  return cold;
+}
+
+}  // namespace damon

@@ -5,6 +5,7 @@
 
 #include "base/check.h"
 #include "base/rng.h"
+#include "os/reclaim_daemon.h"
 #include "workload/epoch_executor.h"
 
 namespace harness {
@@ -59,6 +60,9 @@ void SimulateGuestBoot(osim::Machine& machine, int32_t vm_id,
 // GEMINI_REPART_* environment knobs; both default to the machine's own
 // fallbacks (daemon-period interval, 1-way floor).
 void ApplyTlbOptions(const BedOptions& options, osim::MachineConfig* config) {
+  // Ride-along machine knobs that every bed assembly site needs: the
+  // tiered-memory reclaim config maps straight through.
+  config->reclaim = options.reclaim;
   config->tlb_mode = options.tlb_mode;
   config->tlb_partition_ways = options.tlb_partition_ways;
   config->tlb_repart_interval = options.tlb_repart_interval != 0
@@ -259,6 +263,15 @@ CollocatedManyResult RunCollocatedMany(
   result.serial_ops = exec.serial_ops();
   result.interference =
       metrics::BuildInterferenceReport(machine->tlb_domain(), labels);
+  result.final_host_fmfi = machine->host().Fmfi();
+  if (const vmem::TierSpace* tier = machine->host_tier()) {
+    result.tier_resident_total = tier->resident_total();
+    result.tier_peak_resident = tier->peak_resident();
+  }
+  if (const osim::ReclaimDaemon* daemon = machine->reclaim_daemon()) {
+    result.reclaim_passes = daemon->stats().passes;
+    result.reclaim_pages_demoted = daemon->stats().pages_demoted;
+  }
   trace::WriteTraceFiles(options.trace, *machine, sampler);
   return result;
 }
@@ -312,6 +325,54 @@ uint32_t RepartMinWaysFromEnv(uint32_t fallback) {
   const uint64_t v = std::strtoull(env, nullptr, 10);
   SIM_CHECK_MSG(v >= 1, "GEMINI_REPART_MIN_WAYS must be >= 1");
   return static_cast<uint32_t>(v);
+}
+
+double OvercommitFromEnv(double fallback) {
+  const char* env = std::getenv("GEMINI_OVERCOMMIT");
+  if (env == nullptr || env[0] == '\0') {
+    return fallback;
+  }
+  const double ratio = std::strtod(env, nullptr);
+  SIM_CHECK_MSG(ratio == 0.0 || ratio >= 1.0,
+                "GEMINI_OVERCOMMIT must be 0 (off) or >= 1");
+  return ratio;
+}
+
+policy::ReclaimPolicyKind ReclaimPolicyFromEnv(
+    policy::ReclaimPolicyKind fallback) {
+  const char* env = std::getenv("GEMINI_RECLAIM_POLICY");
+  if (env == nullptr || env[0] == '\0') {
+    return fallback;
+  }
+  const auto kind = policy::ParseReclaimPolicy(env);
+  SIM_CHECK_MSG(kind.has_value(),
+                "GEMINI_RECLAIM_POLICY: unknown policy '%s'", env);
+  return *kind;
+}
+
+damon::MonitorConfig DamonConfigFromEnv(
+    const damon::MonitorConfig& fallback) {
+  damon::MonitorConfig config = fallback;
+  if (const char* env = std::getenv("GEMINI_DAMON_MIN");
+      env != nullptr && env[0] != '\0') {
+    const uint64_t v = std::strtoull(env, nullptr, 10);
+    SIM_CHECK_MSG(v >= 1, "GEMINI_DAMON_MIN must be >= 1");
+    config.min_regions = static_cast<uint32_t>(v);
+  }
+  if (const char* env = std::getenv("GEMINI_DAMON_MAX");
+      env != nullptr && env[0] != '\0') {
+    config.max_regions =
+        static_cast<uint32_t>(std::strtoull(env, nullptr, 10));
+  }
+  SIM_CHECK_MSG(config.max_regions >= config.min_regions,
+                "GEMINI_DAMON_MAX must be >= GEMINI_DAMON_MIN");
+  if (const char* env = std::getenv("GEMINI_DAMON_AGG");
+      env != nullptr && env[0] != '\0') {
+    const uint64_t v = std::strtoull(env, nullptr, 10);
+    SIM_CHECK_MSG(v >= 1, "GEMINI_DAMON_AGG must be >= 1");
+    config.aggregation_ticks = static_cast<uint32_t>(v);
+  }
+  return config;
 }
 
 std::vector<mmu::TlbShareMode> TlbModesFromEnv() {

@@ -12,6 +12,7 @@
 #include "harness/systems.h"
 #include "metrics/interference_matrix.h"
 #include "mmu/tlb_domain.h"
+#include "policy/reclaim.h"
 #include "trace/session.h"
 #include "workload/catalog.h"
 #include "workload/driver.h"
@@ -50,6 +51,11 @@ struct BedOptions {
   // period / 1 way).
   uint64_t tlb_repart_interval = 0;
   uint32_t tlb_repart_min_ways = 0;
+  // Tiered-memory overcommit (DESIGN.md §3i): copied verbatim into
+  // MachineConfig::reclaim by every Run* helper.  Disabled by default, so
+  // the historical testbeds — and every committed golden — stay
+  // byte-identical.
+  policy::ReclaimConfig reclaim;
 };
 
 // A single-VM testbed under one system.
@@ -131,6 +137,15 @@ struct CollocatedManyResult {
   // achievable wall-clock speedup on any host (Amdahl).
   uint64_t parallel_ops = 0;
   uint64_t serial_ops = 0;
+  // Machine-final state captured before teardown: the shared host buddy's
+  // FMFI (where reclaim-induced churn shows up) and, when the bed ran with
+  // a far tier, its footprint and the reclaim daemon's totals (all zero
+  // otherwise).
+  double final_host_fmfi = 0.0;
+  uint64_t tier_resident_total = 0;
+  uint64_t tier_peak_resident = 0;
+  uint64_t reclaim_passes = 0;
+  uint64_t reclaim_pages_demoted = 0;
 };
 
 CollocatedManyResult RunCollocatedMany(
@@ -161,6 +176,23 @@ std::vector<mmu::TlbShareMode> TlbModesFromEnv();
 // GEMINI_REPART_MIN_WAYS (per-VM way floor).  Unset returns the fallback.
 uint64_t RepartIntervalFromEnv(uint64_t fallback = 0);
 uint32_t RepartMinWaysFromEnv(uint32_t fallback = 1);
+
+// Overcommit ratio from GEMINI_OVERCOMMIT: total guest-physical memory as
+// a multiple of host frames (e.g. "1.5").  Unset/empty returns the
+// fallback; 0 means no overcommit.  Values must be >= 1 when set — an
+// undercommitted "overcommit" run is almost certainly a typo.
+double OvercommitFromEnv(double fallback = 0.0);
+
+// Reclaim victim-selection policy from GEMINI_RECLAIM_POLICY ("lru" /
+// "damon"); unset returns the fallback, unknown names abort.
+policy::ReclaimPolicyKind ReclaimPolicyFromEnv(
+    policy::ReclaimPolicyKind fallback);
+
+// DAMON monitor knobs over a fallback config: GEMINI_DAMON_MIN /
+// GEMINI_DAMON_MAX (adaptive region-count bounds) and GEMINI_DAMON_AGG
+// (sampling ticks per aggregation window).
+damon::MonitorConfig DamonConfigFromEnv(
+    const damon::MonitorConfig& fallback = {});
 
 }  // namespace harness
 

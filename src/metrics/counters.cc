@@ -47,6 +47,10 @@ StackSnapshot StackSnapshot::Delta(const StackSnapshot& earlier) const {
   d.host_promotions = host_promotions - earlier.host_promotions;
   d.pages_copied = pages_copied - earlier.pages_copied;
   d.demotions = demotions - earlier.demotions;
+  d.tier_demoted_pages = tier_demoted_pages - earlier.tier_demoted_pages;
+  d.tier_refaults = tier_refaults - earlier.tier_refaults;
+  // A level, not a counter (see counters.h): report the later residency.
+  d.tier_resident = tier_resident;
   d.bookings_started = bookings_started - earlier.bookings_started;
   d.bookings_expired = bookings_expired - earlier.bookings_expired;
   d.bucket_hits = bucket_hits - earlier.bucket_hits;
@@ -117,6 +121,12 @@ StackSnapshot Snapshot(osim::Machine& machine, int32_t vm_id) {
   s.host_promotions = h.promotions_in_place + h.promotions_migrated;
   s.pages_copied = g.pages_copied + h.pages_copied;
   s.demotions = g.demotions + h.demotions;
+  if (const vmem::TierSpace* tier = machine.host_tier()) {
+    const vmem::TierStats tier_stats = tier->stats(vm_id);
+    s.tier_demoted_pages = tier_stats.demoted_pages;
+    s.tier_refaults = tier_stats.refaults;
+    s.tier_resident = tier->resident(vm_id);
+  }
   const policy::PolicyTelemetry gt = vm.guest().policy().Telemetry();
   const policy::PolicyTelemetry ht = vm.host_slice().policy().Telemetry();
   s.bookings_started = gt.bookings_started + ht.bookings_started;

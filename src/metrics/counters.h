@@ -73,6 +73,15 @@ struct StackSnapshot {
   uint64_t host_promotions = 0;
   uint64_t pages_copied = 0;
   uint64_t demotions = 0;
+  // Tiered memory (DESIGN.md §3i; zero when the machine has no far tier).
+  // Host-layer pages of this VM demoted to the far tier, and far pages
+  // refaulted back to near memory on access.
+  uint64_t tier_demoted_pages = 0;
+  uint64_t tier_refaults = 0;
+  // This VM's pages far-resident right now — a level like
+  // tlb_ways_assigned, not a counter: Delta() carries the later snapshot's
+  // value through, so a phase delta reports the residency at phase end.
+  uint64_t tier_resident = 0;
   // Gemini mechanism counters, zero under policies without booking/bucket.
   uint64_t bookings_started = 0;
   uint64_t bookings_expired = 0;

@@ -84,6 +84,7 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
   out << "workload,system,throughput,mean_latency,p99_latency,tlb_misses,"
          "stale_hits,tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,"
          "bookings_started,bookings_expired,bucket_hits,demotions,"
+         "tier_demoted,tier_refaults,tier_resident,"
          "batches,batched_accesses,batch_region_groups,batch_fastpath_hits,"
          "batch_hist_b0,batch_hist_b1,batch_hist_b2,batch_hist_b3,"
          "batch_hist_b4,batch_hist_b5,batch_hist_b6,batch_hist_b7,"
@@ -112,6 +113,8 @@ std::string ToCsv(const std::vector<ResultRow>& rows) {
         << ',' << r.alignment.host_huge << ','
         << r.counters.bookings_started << ',' << r.counters.bookings_expired
         << ',' << r.counters.bucket_hits << ',' << r.counters.demotions
+        << ',' << r.counters.tier_demoted_pages << ','
+        << r.counters.tier_refaults << ',' << r.counters.tier_resident
         << ',' << r.counters.batches << ',' << r.counters.batched_accesses
         << ',' << r.counters.batch_region_groups << ','
         << r.counters.batch_fastpath_hits;
@@ -182,6 +185,9 @@ std::string ToJson(const std::vector<ResultRow>& rows) {
         << ", \"bookings_expired\": " << r.counters.bookings_expired
         << ", \"bucket_hits\": " << r.counters.bucket_hits
         << ", \"demotions\": " << r.counters.demotions
+        << ", \"tier_demoted\": " << r.counters.tier_demoted_pages
+        << ", \"tier_refaults\": " << r.counters.tier_refaults
+        << ", \"tier_resident\": " << r.counters.tier_resident
         << ", \"batches\": " << r.counters.batches
         << ", \"batched_accesses\": " << r.counters.batched_accesses
         << ", \"batch_region_groups\": " << r.counters.batch_region_groups

@@ -25,6 +25,11 @@
 //   bookings_expired  | int    | bookings lost to timeout (both layers)
 //   bucket_hits       | int    | huge-bucket regions reused by placement
 //   demotions         | int    | huge mappings demoted (both layers)
+//   tier_demoted      | int    | host pages demoted to the far tier over the
+//                     |        | measured phase (0 without GEMINI_OVERCOMMIT)
+//   tier_refaults     | int    | far-tier pages faulted back to near memory
+//   tier_resident     | int    | far-resident pages when the phase ended (a
+//                     |        | level, like ways_assigned — not a count)
 //   batches           | int    | AccessBatch calls over the measured phase
 //   batched_accesses  | int    | accesses issued through those batches
 //   batch_region_groups | int  | same-region runs summed over batches
@@ -115,7 +120,8 @@ struct ResultRow {
 // Renders rows as CSV with a fixed header:
 // workload,system,throughput,mean_latency,p99_latency,tlb_misses,stale_hits,
 // tlb_miss_rate,well_aligned_rate,guest_huge,host_huge,bookings_started,
-// bookings_expired,bucket_hits,demotions,batches,batched_accesses,
+// bookings_expired,bucket_hits,demotions,tier_demoted,tier_refaults,
+// tier_resident,batches,batched_accesses,
 // batch_region_groups,batch_fastpath_hits,batch_hist_b0..batch_hist_b7,
 // tlb_mode,cross_vm_evictions,vm_invalidated,conflict_evictions,
 // capacity_evictions,displaced_by_self,displaced_by_other,util_shadow_hits,

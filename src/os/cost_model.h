@@ -46,6 +46,13 @@ struct CostModel {
   base::Cycles swap_out_page = 1000;
   // Faulting a swapped page back in (synchronous SSD read, ~80 us).
   base::Cycles swap_in_page = 160000;
+  // Demoting one page to the far/compressed tier (compress + copy; the
+  // zswap store path, ~1 us — asynchronous, daemon-driven).
+  base::Cycles far_demote_page = 2000;
+  // Refaulting a far-tier page back to near memory (decompress + copy,
+  // ~8 us synchronous — an order of magnitude cheaper than the SSD
+  // swap_in_page path, which is what makes overcommit tolerable at all).
+  base::Cycles far_refault_page = 16000;
 };
 
 }  // namespace osim

@@ -32,6 +32,9 @@ class HostVmKernel final : public KernelBase {
   // plus backing allocation).
   base::Cycles HandleFault(uint64_t gfn);
 
+  // Guest-physical memory size of this VM, in 4 KiB frames.
+  uint64_t gfn_count() const { return vm_gfn_count_; }
+
  protected:
   void ShootdownRegion(uint64_t region) override;
   base::Cycles BaseFaultCost() const override { return costs_.host_fault; }

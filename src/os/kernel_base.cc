@@ -21,12 +21,21 @@ KernelBase::KernelBase(base::Layer layer, int32_t vm_id,
       frames_(frames),
       costs_(costs),
       hooks_(hooks),
-      policy_(std::move(policy)) {
+      policy_(std::move(policy)),
+      owned_tier_(std::make_unique<vmem::TierSpace>(
+          /*capacity_pages=*/0, costs.swap_out_page, costs.swap_in_page)),
+      tier_(owned_tier_.get()) {
   SIM_CHECK(buddy_ != nullptr && frames_ != nullptr && hooks_ != nullptr);
   SIM_CHECK(policy_ != nullptr);
 }
 
 KernelBase::~KernelBase() = default;
+
+void KernelBase::AttachTier(vmem::TierSpace* tier) {
+  SIM_CHECK(tier != nullptr);
+  SIM_CHECK(tier_->resident(vm_id_) == 0);  // no records to migrate
+  tier_ = tier;
+}
 
 void KernelBase::AttachTracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
@@ -40,10 +49,14 @@ base::Cycles KernelBase::DoFault(const policy::FaultInfo& info,
                                  bool region_coverable) {
   const policy::FaultDecision d = policy_->OnFault(*this, info);
   base::Cycles cost = 0;
-  if (!swapped_.empty() && swapped_.erase(info.page) != 0) {
-    // The page was reclaimed earlier; read it back synchronously.
-    cost += costs_.swap_in_page;
+  if (tier_->Refault(vm_id_, info.page)) {
+    // The page was demoted earlier; migrate it back synchronously.
+    cost += tier_->refault_cost();
     ++stats_.swap_ins;
+    if (tracer_ != nullptr) {
+      tracer_->Emit(trace::EventKind::kTierRefault, layer_, vm_id_, info.page,
+                    tier_->resident(vm_id_));
+    }
   }
 
   if (d.try_huge && region_coverable && !table_.IsHugeMapped(info.region) &&
@@ -182,28 +195,43 @@ uint64_t KernelBase::SwapOutRegion(uint64_t region, uint64_t limit) {
       pages.emplace_back(slot, frame);
     }
   });
+  uint64_t demoted = 0;
   for (const auto& [slot, frame] : pages) {
     const uint64_t page = (region << kHugeOrder) + slot;
+    if (!tier_->Demote(vm_id_, page)) {
+      break;  // far tier at capacity: the rest stays mapped in near memory
+    }
     table_.UnmapBase(page);
     if (frames_->info(frame).use != vmem::FrameUse::kPinned) {
       frames_->ClearUse(frame, 1);
       buddy_->Free(frame, 1);
     }
-    swapped_.insert(page);
-    ChargeOverhead(costs_.swap_out_page);
+    ChargeOverhead(tier_->demote_cost());
     ++stats_.pages_swapped_out;
+    ++demoted;
   }
-  if (!pages.empty()) {
+  if (demoted > 0) {
     ShootdownRegion(region);
+    if (tracer_ != nullptr) {
+      tracer_->Emit(trace::EventKind::kTierDemote, layer_, vm_id_, region,
+                    demoted, tier_->resident(vm_id_));
+    }
   }
-  return pages.size();
+  return demoted;
 }
 
 void KernelBase::ForgetSwapped(uint64_t page, uint64_t count) {
-  auto it = swapped_.lower_bound(page);
-  while (it != swapped_.end() && *it < page + count) {
-    it = swapped_.erase(it);
+  tier_->Forget(vm_id_, page, count);
+}
+
+uint64_t KernelBase::DemoteRegionToTier(uint64_t region, uint64_t limit) {
+  if (limit == 0) {
+    return 0;
   }
+  if (table_.IsHugeMapped(region)) {
+    Demote(region);
+  }
+  return SwapOutRegion(region, limit);
 }
 
 bool KernelBase::ReclaimFrames(uint64_t need, uint64_t exclude_region) {

@@ -12,7 +12,6 @@
 #define SRC_OS_KERNEL_BASE_H_
 
 #include <memory>
-#include <set>
 
 #include "base/types.h"
 #include "mmu/page_table.h"
@@ -22,6 +21,7 @@
 #include "trace/tracer.h"
 #include "vmem/buddy_allocator.h"
 #include "vmem/frame_space.h"
+#include "vmem/tier_space.h"
 
 namespace osim {
 
@@ -79,7 +79,25 @@ class KernelBase : public policy::KernelOps {
                      uint64_t exclude_region = vmem::kInvalidFrame);
 
   // Pages currently swapped out (guest layer: VPNs; host layer: GFNs).
-  size_t swapped_pages() const { return swapped_.size(); }
+  size_t swapped_pages() const { return tier_->resident(vm_id_); }
+
+  // The tier swapped-out pages live in.  By default each kernel owns an
+  // unbounded private tier priced at the legacy swap costs (a plain swap
+  // device); the machine points host kernel slices at its shared,
+  // capacity-bounded far tier instead (see vmem/tier_space.h).
+  vmem::TierSpace& tier() { return *tier_; }
+  const vmem::TierSpace& tier() const { return *tier_; }
+
+  // Re-points this kernel at `tier` (not owned; must outlive the kernel).
+  // Must be called before any swap activity — far-resident records do not
+  // migrate between tiers.
+  void AttachTier(vmem::TierSpace* tier);
+
+  // Proactive reclaim entry point (the host reclaim daemon): demotes the
+  // region's huge mapping if present, then swaps out up to `limit` of its
+  // base pages to the tier.  Returns pages actually demoted (0 when the
+  // tier is full or nothing was reclaimable).
+  uint64_t DemoteRegionToTier(uint64_t region, uint64_t limit);
 
   policy::HugePagePolicy& policy() { return *policy_; }
   const KernelStats& stats() const { return stats_; }
@@ -131,8 +149,11 @@ class KernelBase : public policy::KernelOps {
   mmu::PageTable table_;
   KernelStats stats_;
   uint64_t tlb_miss_cursor_ = 0;
-  // Swapped-out pages; a later fault on one pays the swap-in penalty.
-  std::set<uint64_t> swapped_;
+  // Where swapped-out pages live; a later fault on one pays the tier's
+  // refault penalty.  Defaults to owned_tier_ (unbounded, legacy swap
+  // costs); AttachTier() re-points it at a shared machine-owned tier.
+  std::unique_ptr<vmem::TierSpace> owned_tier_;
+  vmem::TierSpace* tier_ = nullptr;
 };
 
 }  // namespace osim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "os/reclaim_daemon.h"
 
 namespace osim {
 
@@ -44,6 +45,17 @@ Machine::Machine(const MachineConfig& config)
                                       : config_.daemon_period;
     AddTask(std::make_unique<RepartitionTask>(&tlb_domain_), interval);
   }
+  if (config_.reclaim.enabled) {
+    host_tier_ = std::make_unique<vmem::TierSpace>(
+        config_.reclaim.far_capacity_pages, config_.costs.far_demote_page,
+        config_.costs.far_refault_page);
+    auto daemon = std::make_unique<ReclaimDaemon>(this, config_.reclaim);
+    reclaim_daemon_ = daemon.get();
+    const base::Cycles interval = config_.reclaim.interval != 0
+                                      ? config_.reclaim.interval
+                                      : config_.daemon_period;
+    AddTask(std::move(daemon), interval);
+  }
 }
 
 Machine::~Machine() = default;
@@ -65,6 +77,11 @@ VirtualMachine& Machine::AddVm(
   vm.guest().AttachTracer(&tracer_);
   vm.guest().buddy().SetTracer(&tracer_, base::Layer::kGuest, id);
   vm.host_slice().AttachTracer(&tracer_);
+  if (host_tier_ != nullptr) {
+    // Every slice demotes to the one shared far tier, keyed by vm id, so
+    // the far pool's capacity is contended by all tenants.
+    vm.host_slice().AttachTier(host_tier_.get());
+  }
   guest_fragmenters_.push_back(std::make_unique<vmem::Fragmenter>(
       &vms_.back()->guest().buddy(), &vms_.back()->guest().gpa_frames(),
       config_.seed + static_cast<uint64_t>(id) * 7919));

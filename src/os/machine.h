@@ -18,10 +18,14 @@
 #include "os/hooks.h"
 #include "os/host_kernel.h"
 #include "os/virtual_machine.h"
+#include "policy/reclaim.h"
 #include "trace/tracer.h"
 #include "vmem/fragmenter.h"
+#include "vmem/tier_space.h"
 
 namespace osim {
+
+class ReclaimDaemon;
 
 struct MachineConfig {
   // Host physical memory in 4 KiB frames.  Default 2 GiB simulated.
@@ -46,6 +50,12 @@ struct MachineConfig {
   base::Cycles tlb_repart_interval = 0;
   uint32_t tlb_repart_min_ways = 1;
   double tlb_repart_hysteresis = 0.05;
+  // Tiered-memory overcommit (DESIGN.md §3i): when enabled, the machine
+  // owns a far TierSpace shared by every VM's host kernel slice and runs a
+  // watermark-driven ReclaimDaemon over it.  Disabled (the default), no
+  // far tier exists and behavior is bit-identical to the pre-tiering
+  // simulator.
+  policy::ReclaimConfig reclaim;
 };
 
 // A periodic background component (e.g. Gemini's MHPS).  Owned by the
@@ -82,6 +92,12 @@ class Machine final : public MachineHooks {
 
   // The TLB sharing domain the VMs' engines translate through.
   const mmu::TlbDomain& tlb_domain() const { return tlb_domain_; }
+
+  // The shared far tier (null unless config.reclaim.enabled) and the
+  // reclaim daemon driving it (null likewise).
+  const vmem::TierSpace* host_tier() const { return host_tier_.get(); }
+  vmem::TierSpace* host_tier() { return host_tier_.get(); }
+  const ReclaimDaemon* reclaim_daemon() const { return reclaim_daemon_; }
 
   // One data access by the workload in `vm_id`, including `work_cycles` of
   // the workload's own compute.  Advances the clock and runs due daemons.
@@ -161,6 +177,9 @@ class Machine final : public MachineHooks {
   std::vector<std::unique_ptr<VirtualMachine>> vms_;
   std::vector<std::unique_ptr<vmem::Fragmenter>> guest_fragmenters_;
   std::unique_ptr<vmem::Fragmenter> host_fragmenter_;
+  // The far tier every host kernel slice demotes to (config.reclaim).
+  std::unique_ptr<vmem::TierSpace> host_tier_;
+  ReclaimDaemon* reclaim_daemon_ = nullptr;  // owned by tasks_
 
   struct ScheduledTask {
     std::unique_ptr<PeriodicTask> task;

@@ -1,0 +1,64 @@
+#include "os/reclaim_daemon.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace osim {
+
+ReclaimDaemon::ReclaimDaemon(Machine* machine,
+                             const policy::ReclaimConfig& config)
+    : machine_(machine),
+      config_(config),
+      policy_(policy::MakeReclaimPolicy(config.policy, config.damon)) {
+  SIM_CHECK(machine_ != nullptr);
+  SIM_CHECK(config_.low_watermark > 0.0 &&
+            config_.low_watermark <= config_.high_watermark &&
+            config_.high_watermark < 1.0);
+}
+
+void ReclaimDaemon::Run(base::Cycles) {
+  ++stats_.ticks;
+  HostKernel& host = machine_->host();
+  policy_->Observe(host);
+
+  const uint64_t total = host.buddy().frame_count();
+  const uint64_t low =
+      static_cast<uint64_t>(config_.low_watermark * static_cast<double>(total));
+  const uint64_t high = static_cast<uint64_t>(config_.high_watermark *
+                                              static_cast<double>(total));
+  if (host.buddy().free_frames() >= low) {
+    return;
+  }
+
+  uint64_t freed = 0;
+  bool progress = true;
+  std::vector<policy::ReclaimVictim> victims;
+  while (progress && freed < config_.max_pages_per_pass &&
+         host.buddy().free_frames() < high) {
+    progress = false;
+    victims.clear();
+    policy_->RankVictims(host, /*max_victims=*/64, &victims);
+    for (const policy::ReclaimVictim& v : victims) {
+      if (freed >= config_.max_pages_per_pass ||
+          host.buddy().free_frames() >= high) {
+        break;
+      }
+      const uint64_t got = host.vm_kernel(v.vm_id).DemoteRegionToTier(
+          v.region, config_.max_pages_per_pass - freed);
+      freed += got;
+      progress = progress || got > 0;
+    }
+  }
+  if (freed > 0) {
+    ++stats_.passes;
+    stats_.pages_demoted += freed;
+  }
+  trace::Tracer& tracer = machine_->tracer();
+  if (tracer.enabled()) {
+    tracer.Emit(trace::EventKind::kReclaimPass, base::Layer::kHost, -1, freed,
+                host.buddy().free_frames(), low);
+  }
+}
+
+}  // namespace osim

@@ -68,6 +68,9 @@ void StackSampler::Run(base::Cycles now) {
     p.batched_accesses = s.batched_accesses;
     p.batch_region_groups = s.batch_region_groups;
     p.batch_fastpath_hits = s.batch_fastpath_hits;
+    p.tier_demoted = s.tier_demoted_pages;
+    p.tier_refaults = s.tier_refaults;
+    p.tier_resident = s.tier_resident;
     for (size_t b = 0; b < s.batch_size_hist.size(); ++b) {
       p.batch_size_hist[b] = s.batch_size_hist[b];
     }
@@ -87,7 +90,8 @@ std::string StackSampler::ToCsv() const {
          "displaced_by_self,displaced_by_other,util_shadow_hits,"
          "util_shadow_misses,ways_assigned,repartitions,"
          "repartition_evictions,lat_p50,lat_p90,lat_p99,batches,"
-         "batched_accesses,batch_region_groups,batch_fastpath_hits";
+         "batched_accesses,batch_region_groups,batch_fastpath_hits,"
+         "tier_demoted,tier_refaults,tier_resident";
   for (int b = 0; b < 8; ++b) {
     out << ",batch_hist_b" << b;
   }
@@ -110,7 +114,9 @@ std::string StackSampler::ToCsv() const {
         << ',' << p.repartition_evictions
         << ',' << p.lat_p50 << ',' << p.lat_p90 << ',' << p.lat_p99
         << ',' << p.batches << ',' << p.batched_accesses << ','
-        << p.batch_region_groups << ',' << p.batch_fastpath_hits;
+        << p.batch_region_groups << ',' << p.batch_fastpath_hits
+        << ',' << p.tier_demoted << ',' << p.tier_refaults
+        << ',' << p.tier_resident;
     for (int b = 0; b < 8; ++b) {
       out << ',' << p.batch_size_hist[b];
     }

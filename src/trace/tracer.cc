@@ -36,6 +36,12 @@ const char* EventName(EventKind kind) {
       return "bucket_evict";
     case EventKind::kDaemonTick:
       return "daemon_tick";
+    case EventKind::kTierDemote:
+      return "tier_demote";
+    case EventKind::kTierRefault:
+      return "tier_refault";
+    case EventKind::kReclaimPass:
+      return "reclaim_pass";
   }
   return "unknown";
 }
@@ -72,6 +78,12 @@ ArgNames EventArgNames(EventKind kind) {
       return {"frame", "", ""};
     case EventKind::kDaemonTick:
       return {"tick", "", ""};
+    case EventKind::kTierDemote:
+      return {"region", "pages", "far_resident"};
+    case EventKind::kTierRefault:
+      return {"page", "far_resident", ""};
+    case EventKind::kReclaimPass:
+      return {"pages_freed", "free_frames", "watermark_frames"};
   }
   return {"", "", ""};
 }

@@ -54,9 +54,14 @@ enum class EventKind : uint8_t {
   kBucketEvict,    // a=first frame
   // osim::Machine
   kDaemonTick,     // a=tick ordinal of this boundary
+  // vmem::TierSpace migrations (emitted by the owning kernel)
+  kTierDemote,     // a=region, b=pages demoted, c=owner far-resident after
+  kTierRefault,    // a=page, b=owner far-resident after
+  // osim::ReclaimDaemon
+  kReclaimPass,    // a=pages freed, b=host free frames after, c=watermark
 };
 
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::kDaemonTick) + 1;
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::kReclaimPass) + 1;
 
 // Stable lower_snake_case name, used as the Perfetto event name.
 const char* EventName(EventKind kind);

@@ -1,0 +1,158 @@
+// A slow second memory tier layered over FrameSpace.
+//
+// TierSpace models the far side of a tiered-memory host: a compressed pool
+// (zswap), a far NUMA node, or a plain swap device — anything pages can be
+// demoted to when near memory runs short and refaulted from when the
+// workload touches them again.  It deliberately tracks *which pages are
+// far-resident*, not far frames: the far tier's internal layout does not
+// affect translation, so modeling it as a capacity-bounded set keeps the
+// near-tier effects (the interesting ones — buddy free-list churn,
+// fragmentation, refault stalls) exact without inventing far-tier geometry.
+//
+// Ownership model: one TierSpace can back several kernels.  Guest kernels
+// each own a private, unbounded TierSpace (their virtual swap device, the
+// pre-tiering behavior).  The machine owns one host TierSpace shared by
+// every per-VM host kernel slice, keyed by owner (vm_id), so a single far
+// pool's capacity is contended by all tenants — the "Flexible Swapping for
+// the Cloud" arrangement.
+//
+// The near-tier side of a demotion (unmap, free frames into the buddy
+// allocator) and of a refault (fault path re-allocates from the buddy) is
+// the owning kernel's job; TierSpace only keeps the far-resident set, the
+// capacity check, the per-page migration costs, and the counters.  All
+// containers are ordered, so iteration and accounting are deterministic.
+#ifndef SRC_VMEM_TIER_SPACE_H_
+#define SRC_VMEM_TIER_SPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "base/types.h"
+
+namespace vmem {
+
+// Cumulative per-owner migration counters.  The residency invariant
+//   resident == demoted_pages - refaults - forgotten
+// holds at every point (the machine fuzz test checks it each epoch).
+struct TierStats {
+  uint64_t demoted_pages = 0;  // pages moved near -> far
+  uint64_t refaults = 0;       // pages moved far -> near on access
+  uint64_t forgotten = 0;      // far records dropped by unmap/teardown
+  uint64_t rejected = 0;       // demotions refused: far tier at capacity
+};
+
+class TierSpace {
+ public:
+  // `capacity_pages` == 0 means unbounded (a plain swap device — the
+  // pre-tiering default).  `demote_cost` is charged by the owning kernel
+  // per page moved far (asynchronous: compress + copy); `refault_cost` is
+  // the synchronous stall of reading one page back.
+  TierSpace(uint64_t capacity_pages, base::Cycles demote_cost,
+            base::Cycles refault_cost)
+      : capacity_pages_(capacity_pages),
+        demote_cost_(demote_cost),
+        refault_cost_(refault_cost) {}
+
+  // Moves `page` of `owner` to the far tier.  Returns false (and counts a
+  // rejection) if the far tier is full — the caller must then leave the
+  // page mapped in near memory.  Demoting an already-far page is a no-op
+  // returning true (idempotent, does not double-count).
+  bool Demote(int32_t owner, uint64_t page) {
+    Shard& shard = shards_[owner];
+    if (shard.pages.contains(page)) {
+      return true;
+    }
+    if (capacity_pages_ != 0 && resident_total_ >= capacity_pages_) {
+      ++shard.stats.rejected;
+      return false;
+    }
+    shard.pages.insert(page);
+    ++shard.stats.demoted_pages;
+    ++resident_total_;
+    peak_resident_ = resident_total_ > peak_resident_ ? resident_total_
+                                                      : peak_resident_;
+    return true;
+  }
+
+  // If `page` of `owner` is far-resident, brings it back (erases the
+  // record, counts a refault) and returns true; the caller charges
+  // refault_cost() and re-faults the page into near memory.
+  bool Refault(int32_t owner, uint64_t page) {
+    auto it = shards_.find(owner);
+    if (it == shards_.end() || it->second.pages.erase(page) == 0) {
+      return false;
+    }
+    ++it->second.stats.refaults;
+    --resident_total_;
+    return true;
+  }
+
+  // Drops far records for [page, page + count) of `owner` (VMA teardown /
+  // VM removal).  Returns how many records were dropped.
+  uint64_t Forget(int32_t owner, uint64_t page, uint64_t count) {
+    auto it = shards_.find(owner);
+    if (it == shards_.end()) {
+      return 0;
+    }
+    uint64_t dropped = 0;
+    auto page_it = it->second.pages.lower_bound(page);
+    while (page_it != it->second.pages.end() && *page_it < page + count) {
+      page_it = it->second.pages.erase(page_it);
+      ++dropped;
+    }
+    it->second.stats.forgotten += dropped;
+    resident_total_ -= dropped;
+    return dropped;
+  }
+
+  bool Contains(int32_t owner, uint64_t page) const {
+    auto it = shards_.find(owner);
+    return it != shards_.end() && it->second.pages.contains(page);
+  }
+
+  // Far-resident pages of one owner / of everyone.
+  uint64_t resident(int32_t owner) const {
+    auto it = shards_.find(owner);
+    return it == shards_.end() ? 0 : it->second.pages.size();
+  }
+  uint64_t resident_total() const { return resident_total_; }
+  uint64_t peak_resident() const { return peak_resident_; }
+
+  uint64_t capacity_pages() const { return capacity_pages_; }
+  base::Cycles demote_cost() const { return demote_cost_; }
+  base::Cycles refault_cost() const { return refault_cost_; }
+
+  TierStats stats(int32_t owner) const {
+    auto it = shards_.find(owner);
+    return it == shards_.end() ? TierStats{} : it->second.stats;
+  }
+  TierStats totals() const {
+    TierStats t;
+    for (const auto& [owner, shard] : shards_) {
+      (void)owner;
+      t.demoted_pages += shard.stats.demoted_pages;
+      t.refaults += shard.stats.refaults;
+      t.forgotten += shard.stats.forgotten;
+      t.rejected += shard.stats.rejected;
+    }
+    return t;
+  }
+
+ private:
+  struct Shard {
+    std::set<uint64_t> pages;  // far-resident page numbers
+    TierStats stats;
+  };
+
+  uint64_t capacity_pages_;
+  base::Cycles demote_cost_;
+  base::Cycles refault_cost_;
+  uint64_t resident_total_ = 0;
+  uint64_t peak_resident_ = 0;
+  std::map<int32_t, Shard> shards_;  // ordered: deterministic accounting
+};
+
+}  // namespace vmem
+
+#endif  // SRC_VMEM_TIER_SPACE_H_

@@ -28,6 +28,9 @@ workload::RunResult SampleResult() {
   r.counters.bookings_expired = 3;
   r.counters.bucket_hits = 5;
   r.counters.demotions = 2;
+  r.counters.tier_demoted_pages = 30;
+  r.counters.tier_refaults = 12;
+  r.counters.tier_resident = 18;
   r.counters.batches = 13;
   r.counters.batched_accesses = 832;
   r.counters.batch_region_groups = 40;
@@ -74,7 +77,7 @@ TEST(Export, CsvHasHeaderAndRow) {
       metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
   EXPECT_NE(csv.find("workload,system,throughput"), std::string::npos);
   EXPECT_NE(csv.find("Redis,Gemini,1.5,1000,2000,42,6,0.25,0.875,7,9,11,3,5,"
-                     "2,13,832,40,700,1,0,0,0,0,0,12,0,private,4,8,4,4,"
+                     "2,30,12,18,13,832,40,700,1,0,0,0,0,0,12,0,private,4,8,4,4,"
                      "5,9,15,5,2,6,2,14,3,63,255,"
                      "1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,"
                      "21,22,123456"),
@@ -139,7 +142,8 @@ TEST(Export, CarriesMechanismCounters) {
   const std::string csv =
       metrics::ToCsv({metrics::ResultRow{"Redis", "Gemini", &r}});
   EXPECT_NE(csv.find("bookings_started,bookings_expired,bucket_hits,"
-                     "demotions,batches"),
+                     "demotions,tier_demoted,tier_refaults,tier_resident,"
+                     "batches"),
             std::string::npos);
   const std::string json =
       metrics::ToJson({metrics::ResultRow{"Redis", "Gemini", &r}});
@@ -147,6 +151,9 @@ TEST(Export, CarriesMechanismCounters) {
   EXPECT_NE(json.find("\"bookings_expired\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"bucket_hits\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"demotions\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"tier_demoted\": 30"), std::string::npos);
+  EXPECT_NE(json.find("\"tier_refaults\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"tier_resident\": 18"), std::string::npos);
 }
 
 TEST(Export, CarriesStaleHitColumn) {

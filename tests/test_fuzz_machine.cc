@@ -9,7 +9,14 @@
 //  * page tables structurally sound,
 //  * every guest-mapped page translates to a host frame within bounds or
 //    faults cleanly,
-//  * the alignment audit agrees with a brute-force recomputation.
+//  * the alignment audit agrees with a brute-force recomputation,
+//  * tier residency reconciles with its counters at both layers
+//    (resident == demoted - refaults - forgotten, the TierSpace contract)
+//    and the metrics snapshot reports exactly the far tier's numbers.
+//
+// Half the seeds run with overcommit reclaim enabled (random LRU/DAMON
+// policy, host sized to force watermark pressure), so demotions, refaults,
+// and reclaim passes interleave with everything else.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -22,8 +29,10 @@
 #include "gemini/gemini_policy.h"
 #include "harness/systems.h"
 #include "metrics/alignment_audit.h"
+#include "metrics/counters.h"
 #include "mmu/translation_engine.h"
 #include "os/machine.h"
+#include "vmem/tier_space.h"
 
 namespace {
 
@@ -44,6 +53,18 @@ TEST_P(MachineFuzzTest, RandomOpsKeepInvariants) {
   config.host_frames = 65536;
   config.daemon_period = 20000;
   config.seed = GetParam();
+  if (rng.NextBool(0.5)) {
+    // Overcommit mode: a host small enough that the watermark daemon and
+    // the synchronous ReclaimFrames backstop both fire (the single VM's
+    // 16384 gfns overcommit the host ~2.7x), an unbounded far tier
+    // (capacity 0) so allocation can always be satisfied by swapping, and
+    // a random reclaim policy.
+    config.host_frames = 6144;
+    config.reclaim.enabled = true;
+    config.reclaim.policy = rng.NextBool(0.5)
+                                ? policy::ReclaimPolicyKind::kLruApprox
+                                : policy::ReclaimPolicyKind::kDamon;
+  }
   osim::Machine machine(config);
 
   const auto systems = harness::AllSystems();
@@ -149,6 +170,37 @@ TEST_P(MachineFuzzTest, RandomOpsKeepInvariants) {
           vm.host_slice().table().IsHugeMapped(gfn >> kHugeOrder) ? 1 : 0;
     });
     ASSERT_EQ(report.aligned_pairs, brute_pairs);
+
+    // Tier residency reconciles with its counters at both layers.  The
+    // TierSpace contract (tier_space.h) is that residency is EXACTLY the
+    // demotions that neither refaulted nor were forgotten — demotion is
+    // idempotent and never double-counts — and the kernel's swapped_pages
+    // view must agree with the tier it demotes into.
+    for (const osim::KernelBase* k :
+         {static_cast<const osim::KernelBase*>(&vm.guest()),
+          static_cast<const osim::KernelBase*>(&vm.host_slice())}) {
+      const vmem::TierStats t = k->tier().stats(0);
+      ASSERT_LE(t.refaults, t.demoted_pages);
+      ASSERT_EQ(k->tier().resident(0),
+                t.demoted_pages - t.refaults - t.forgotten);
+      ASSERT_EQ(k->swapped_pages(), k->tier().resident(0));
+    }
+    // And the metrics snapshot reports exactly the shared far tier's
+    // numbers (zero when overcommit is off — the per-kernel default tiers
+    // never demote without reclaim pressure from the shared host tier).
+    const metrics::StackSnapshot snap = metrics::Snapshot(machine, 0);
+    if (const vmem::TierSpace* host_tier = machine.host_tier()) {
+      const vmem::TierStats t = host_tier->stats(0);
+      ASSERT_EQ(snap.tier_demoted_pages, t.demoted_pages);
+      ASSERT_EQ(snap.tier_refaults, t.refaults);
+      ASSERT_EQ(snap.tier_resident, host_tier->resident(0));
+      ASSERT_LE(host_tier->resident(0), host_tier->peak_resident());
+    } else {
+      ASSERT_FALSE(config.reclaim.enabled);
+      ASSERT_EQ(snap.tier_demoted_pages, 0u);
+      ASSERT_EQ(snap.tier_refaults, 0u);
+      ASSERT_EQ(snap.tier_resident, 0u);
+    }
   }
 }
 

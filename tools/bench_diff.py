@@ -8,11 +8,12 @@ Usage:
 Scenarios are matched by name; the report shows mops_per_s for both
 sides and the current/baseline ratio, plus lat_p99 (simulated cycles)
 when either side exports it.  Scenarios present on only one side
-(e.g. the batched modes, which the committed PR-3 baseline predates)
-are listed separately rather than silently dropped, and fields a side
-lacks (older baselines predate lat_p*) render as "-" instead of
-erroring — the schema is allowed to grow without invalidating
-committed baselines.
+(e.g. a bench that grew new cells after its baseline was committed)
+appear as table rows with "new" / "removed" in the ratio column rather
+than being dropped, and fields a side lacks (older baselines predate
+lat_p*) render as "-" instead of erroring — the schema is allowed to
+grow without invalidating committed baselines.  One-sided scenarios
+never gate: only a shared, gated scenario can fail the threshold.
 
 Without --fail-threshold the tool is report-only: it always exits 0
 after a successful comparison.  With --fail-threshold PCT it becomes a
@@ -95,16 +96,17 @@ def main(argv):
             mark = " **FAIL**"
         print(f"| {name} | {old:.2f} | {new:.2f} | {ratio:.2f}x{mark} "
               f"| {fmt_lat(baseline[name])} | {fmt_lat(current[name])} |")
-    if only_curr:
-        print()
-        print("New scenarios (no committed baseline): "
-              + ", ".join(
-                  f"`{n}` {current[n].get('mops_per_s', 0.0):.2f} Mops/s"
-                  for n in only_curr))
-    if only_base:
-        print()
-        print("Baseline scenarios missing from this run: "
-              + ", ".join(f"`{n}`" for n in only_base))
+    # One-sided scenarios become rows too — a bench whose cell set changed
+    # (new sweep axis, renamed scenario) must be visible in the same table
+    # the reviewer is already reading, not hidden or silently skipped.
+    for name in only_curr:
+        new = current[name].get("mops_per_s", 0.0)
+        print(f"| {name} | - | {new:.2f} | new "
+              f"| - | {fmt_lat(current[name])} |")
+    for name in only_base:
+        old = baseline[name].get("mops_per_s", 0.0)
+        print(f"| {name} | {old:.2f} | - | removed "
+              f"| {fmt_lat(baseline[name])} | - |")
     print()
     if args.fail_threshold is None:
         print("_Report-only: pass --fail-threshold to gate on a regression._")
